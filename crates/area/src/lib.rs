@@ -1,0 +1,308 @@
+//! # cobra-area
+//!
+//! An analytical area model standing in for the paper's commercial-FinFET
+//! synthesis flow (Cadence Genus at 1 GHz).
+//!
+//! The paper's Figs 8 and 9 report *relative* area: predictor
+//! sub-components versus management structures, and the whole predictor
+//! versus the rest of a 4-wide out-of-order core. Those ratios derive from
+//! bit counts and port structure, which the components report exactly
+//! through [`cobra_core::StorageReport`]; this crate costs
+//! them with per-bit constants calibrated to a 7 nm-class process:
+//!
+//! * SRAM bits are dense; each extra port roughly doubles bit-cell area;
+//! * flip-flop (CAM / register) bits are ~15× SRAM bits;
+//! * tag comparators and peripheral logic add per-macro overhead.
+//!
+//! Absolute µm² values are indicative only; the reproduction target is the
+//! breakdown *shape*: tagged structures (TAGE tables, BTB) costly, the
+//! management "Meta" share non-trivial, and the whole predictor a small
+//! fraction of the core (the paper's observations for Figs 8-9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cobra_core::{AccessReport, StorageReport};
+use cobra_sim::{PortKind, SramSpec};
+
+/// Per-bit and per-macro area constants for a FinFET-class process, in
+/// square micrometres.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProcessModel {
+    /// One single-ported SRAM bit cell.
+    pub sram_bit_um2: f64,
+    /// One flip-flop bit (registers, CAMs, history snapshots).
+    pub flop_bit_um2: f64,
+    /// Fixed peripheral overhead per SRAM macro (decoders, sense amps).
+    pub macro_overhead_um2: f64,
+    /// Additional multiplier per extra port beyond the first.
+    pub port_factor: f64,
+}
+
+impl ProcessModel {
+    /// A 7 nm-class FinFET process.
+    pub fn finfet_7nm() -> Self {
+        Self {
+            sram_bit_um2: 0.045,
+            flop_bit_um2: 0.65,
+            macro_overhead_um2: 220.0,
+            port_factor: 0.85,
+        }
+    }
+
+    fn ports_of(kind: PortKind) -> f64 {
+        match kind {
+            PortKind::SinglePort => 1.0,
+            PortKind::DualPort => 2.0,
+            PortKind::TwoReadOneWrite => 3.0,
+        }
+    }
+
+    /// Area of one SRAM macro (banked structures pay the peripheral
+    /// overhead once per bank).
+    pub fn sram_area_um2(&self, spec: &SramSpec) -> f64 {
+        let ports = Self::ports_of(spec.ports);
+        let bit = self.sram_bit_um2 * (1.0 + self.port_factor * (ports - 1.0));
+        spec.total_bits() as f64 * bit + self.macro_overhead_um2 * spec.banks.max(1) as f64
+    }
+
+    /// Area of a full storage report (SRAM macros + flops).
+    pub fn report_area_um2(&self, report: &StorageReport) -> f64 {
+        let srams: f64 = report
+            .srams
+            .iter()
+            .map(|(_, s)| self.sram_area_um2(s))
+            .sum();
+        srams + report.flop_bits as f64 * self.flop_bit_um2
+    }
+}
+
+impl Default for ProcessModel {
+    fn default() -> Self {
+        Self::finfet_7nm()
+    }
+}
+
+/// Per-access SRAM energy constants, in picojoules, for the same
+/// FinFET-class process — the predictor-energy concern the paper flags as
+/// future work ("the energy cost of continuously reading predictor SRAMs
+/// is significant", Section VI-A citing Parikh et al.).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Read energy per bit of the accessed entry.
+    pub read_pj_per_bit: f64,
+    /// Write energy per bit of the accessed entry.
+    pub write_pj_per_bit: f64,
+    /// Fixed per-access peripheral energy (decode, sense).
+    pub access_overhead_pj: f64,
+}
+
+impl EnergyModel {
+    /// A 7 nm-class SRAM energy model.
+    pub fn finfet_7nm() -> Self {
+        Self {
+            read_pj_per_bit: 0.012,
+            write_pj_per_bit: 0.018,
+            access_overhead_pj: 0.9,
+        }
+    }
+
+    /// Energy of all accesses in one report, in nanojoules.
+    pub fn report_energy_nj(&self, r: &AccessReport) -> f64 {
+        let bits = r.spec.entry_bits as f64;
+        let read = r.reads as f64 * (bits * self.read_pj_per_bit + self.access_overhead_pj);
+        let write = r.writes as f64 * (bits * self.write_pj_per_bit + self.access_overhead_pj);
+        (read + write) / 1000.0
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        Self::finfet_7nm()
+    }
+}
+
+/// One bar segment of an area breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaItem {
+    /// Component / block label.
+    pub label: String,
+    /// Area in µm².
+    pub area_um2: f64,
+}
+
+/// A labelled area breakdown (one Fig 8 bar, or one Fig 9 bar).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct AreaBreakdown {
+    /// The segments, in display order.
+    pub items: Vec<AreaItem>,
+}
+
+impl AreaBreakdown {
+    /// Builds a breakdown from labelled storage reports.
+    pub fn from_reports<'a>(
+        model: &ProcessModel,
+        reports: impl IntoIterator<Item = (String, &'a StorageReport)>,
+    ) -> Self {
+        Self {
+            items: reports
+                .into_iter()
+                .map(|(label, r)| AreaItem {
+                    label,
+                    area_um2: model.report_area_um2(r),
+                })
+                .collect(),
+        }
+    }
+
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.items.iter().map(|i| i.area_um2).sum()
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total_um2() / 1e6
+    }
+
+    /// Adds a pre-computed block (used for the fixed core blocks of Fig 9).
+    pub fn push(&mut self, label: impl Into<String>, area_um2: f64) {
+        self.items.push(AreaItem {
+            label: label.into(),
+            area_um2,
+        });
+    }
+}
+
+/// Fixed area estimates for the non-predictor blocks of the 4-wide BOOM
+/// core (Fig 9's "rest of core"), in µm², scaled from published BOOM
+/// floorplans to the same process model.
+pub fn core_blocks_um2() -> Vec<(&'static str, f64)> {
+    vec![
+        ("ifu-other", 60_000.0), // icache control, TLB, fetch buffer
+        ("icache", 140_000.0),   // 32 KB + tags
+        ("decode-rename", 90_000.0),
+        ("rob", 70_000.0),
+        ("issue-units", 150_000.0),
+        ("regfiles", 120_000.0),
+        ("exec-units", 260_000.0),
+        ("lsu", 110_000.0),
+        ("dcache", 150_000.0),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(entries: u64, bits: u64, ports: PortKind) -> SramSpec {
+        SramSpec {
+            entries,
+            entry_bits: bits,
+            ports,
+            banks: 1,
+        }
+    }
+
+    #[test]
+    fn more_bits_cost_more() {
+        let m = ProcessModel::finfet_7nm();
+        let small = m.sram_area_um2(&spec(1024, 2, PortKind::DualPort));
+        let big = m.sram_area_um2(&spec(16384, 2, PortKind::DualPort));
+        assert!(big > small);
+    }
+
+    #[test]
+    fn banking_costs_peripheral_area() {
+        let m = ProcessModel::finfet_7nm();
+        let flat = m.sram_area_um2(&spec(4096, 8, PortKind::DualPort));
+        let banked = m.sram_area_um2(&SramSpec {
+            entries: 4096,
+            entry_bits: 8,
+            ports: PortKind::DualPort,
+            banks: 8,
+        });
+        assert!(banked > flat, "eight banks pay eight peripheries");
+    }
+
+    #[test]
+    fn extra_ports_cost_more() {
+        let m = ProcessModel::finfet_7nm();
+        let p1 = m.sram_area_um2(&spec(4096, 8, PortKind::SinglePort));
+        let p2 = m.sram_area_um2(&spec(4096, 8, PortKind::DualPort));
+        let p3 = m.sram_area_um2(&spec(4096, 8, PortKind::TwoReadOneWrite));
+        assert!(p1 < p2 && p2 < p3);
+    }
+
+    #[test]
+    fn flops_far_denser_than_sram_per_bit_cost() {
+        let m = ProcessModel::finfet_7nm();
+        assert!(m.flop_bit_um2 > 10.0 * m.sram_bit_um2);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let m = ProcessModel::finfet_7nm();
+        let mut r1 = StorageReport::new();
+        r1.add_sram("a", spec(1024, 2, PortKind::DualPort));
+        let mut r2 = StorageReport::new();
+        r2.add_flops(512);
+        let b =
+            AreaBreakdown::from_reports(&m, [("x".to_string(), &r1), ("y".to_string(), &r2)]);
+        assert_eq!(b.items.len(), 2);
+        let expected = m.report_area_um2(&r1) + m.report_area_um2(&r2);
+        assert!((b.total_um2() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_scales_with_traffic_and_width() {
+        let m = EnergyModel::finfet_7nm();
+        let mk = |entry_bits, reads, writes| AccessReport {
+            name: "t".into(),
+            spec: spec(1024, entry_bits, PortKind::DualPort),
+            reads,
+            writes,
+        };
+        let base = m.report_energy_nj(&mk(8, 1000, 100));
+        assert!(m.report_energy_nj(&mk(8, 2000, 100)) > base);
+        assert!(m.report_energy_nj(&mk(64, 1000, 100)) > base);
+        assert!(
+            m.report_energy_nj(&mk(8, 0, 0)) == 0.0,
+            "no accesses, no energy"
+        );
+    }
+
+    #[test]
+    fn predictor_is_small_fraction_of_core() {
+        // The paper's Fig 9 observation: even the 28 KB TAGE-L predictor is
+        // a small part of a big out-of-order core.
+        use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
+        use cobra_core::designs;
+        let m = ProcessModel::finfet_7nm();
+        let bpu = BranchPredictorUnit::build(&designs::tage_l(), BpuConfig::default()).unwrap();
+        let pred = m.report_area_um2(&bpu.total_storage());
+        let core: f64 = core_blocks_um2().iter().map(|(_, a)| a).sum();
+        let frac = pred / (pred + core);
+        assert!(
+            frac < 0.25,
+            "predictor fraction {frac:.2} should be a minor share"
+        );
+        assert!(frac > 0.01, "predictor must not be negligible either");
+    }
+
+    #[test]
+    fn tournament_meta_share_nontrivial() {
+        use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
+        use cobra_core::designs;
+        let m = ProcessModel::finfet_7nm();
+        let bpu =
+            BranchPredictorUnit::build(&designs::tournament(), BpuConfig::default()).unwrap();
+        let meta = m.report_area_um2(&bpu.meta_storage());
+        let total = m.report_area_um2(&bpu.total_storage());
+        assert!(
+            meta / total > 0.1,
+            "management structures incur non-trivial cost (paper Fig 8): {:.3}",
+            meta / total
+        );
+    }
+}

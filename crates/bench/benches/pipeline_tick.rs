@@ -1,0 +1,49 @@
+//! Criterion bench: composed-BPU query/accept/resolve/commit round-trip
+//! rate for each stock design.
+
+use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
+use cobra_core::{designs, BranchKind, SlotResolution};
+use cobra_sim::SplitMix64;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn roundtrip(bpu: &mut BranchPredictorUnit, rng: &mut SplitMix64, n: usize) {
+    for _ in 0..n {
+        bpu.tick();
+        let pc = 0x2_0000 + rng.below(1 << 10) * 16;
+        let Some(id) = bpu.query(pc) else {
+            // Drain if the history file filled up.
+            while bpu.commit_front().is_some() {}
+            continue;
+        };
+        bpu.speculate(id, 1);
+        let last = *bpu.prediction(id, bpu.depth()).expect("live packet");
+        bpu.accept(id, last);
+        let taken = rng.chance(0.5);
+        let res = SlotResolution {
+            slot: 0,
+            kind: BranchKind::Conditional,
+            taken,
+            target: pc + 32,
+        };
+        let mispredicted = rng.chance(0.05);
+        black_box(bpu.resolve(id, res, mispredicted));
+        while bpu.commit_front().is_some() {}
+    }
+}
+
+fn bench_designs(crit: &mut Criterion) {
+    let mut g = crit.benchmark_group("bpu_roundtrip");
+    for design in designs::all() {
+        g.bench_function(&design.name, |b| {
+            let mut bpu =
+                BranchPredictorUnit::build(&design, BpuConfig::default()).expect("composes");
+            let mut rng = SplitMix64::new(3);
+            b.iter(|| roundtrip(&mut bpu, &mut rng, 64));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_designs);
+criterion_main!(benches);

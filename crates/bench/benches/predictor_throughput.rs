@@ -1,0 +1,101 @@
+//! Criterion bench: raw query+update throughput of each predictor
+//! sub-component — the simulation-speed axis the paper contrasts against
+//! software simulators.
+
+use cobra_core::components::{
+    Btb, BtbConfig, Gtag, GtagConfig, Hbim, HbimConfig, LoopConfig, LoopPredictor, MicroBtb,
+    MicroBtbConfig, Perceptron, PerceptronConfig, Tage, TageConfig, Tourney, TourneyConfig,
+};
+use cobra_core::{
+    BranchKind, Component, HistoryView, PredictQuery, PredictionBundle, SlotResolution,
+    UpdateEvent,
+};
+use cobra_sim::{HistoryRegister, SplitMix64};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn drive(c: &mut dyn Component, iterations: u64) {
+    let mut ghist = HistoryRegister::new(64);
+    let mut rng = SplitMix64::new(7);
+    let pred = PredictionBundle::new(8);
+    for i in 0..iterations {
+        let pc = 0x1_0000 + rng.below(1 << 12) * 16;
+        let hist = HistoryView {
+            ghist: &ghist,
+            lhist: rng.next_u64(),
+            phist: 0,
+        };
+        let q = PredictQuery {
+            cycle: i,
+            pc,
+            width: 8,
+            hist: (c.latency() >= 2).then_some(hist),
+        };
+        let resp = c.predict(&q);
+        let taken = rng.chance(0.6);
+        let res = [SlotResolution {
+            slot: (pc as u8) & 7,
+            kind: BranchKind::Conditional,
+            taken,
+            target: pc + 64,
+        }];
+        let hist = HistoryView {
+            ghist: &ghist,
+            lhist: 0,
+            phist: 0,
+        };
+        c.update(&UpdateEvent {
+            pc,
+            width: 8,
+            hist,
+            meta: resp.meta,
+            pred: &pred,
+            resolutions: &res,
+            mispredicted_slot: taken.then_some((pc as u8) & 7),
+        });
+        ghist.push(taken);
+        black_box(&resp);
+    }
+}
+
+type ComponentFactory = Box<dyn Fn() -> Box<dyn Component>>;
+
+fn bench_components(crit: &mut Criterion) {
+    let mut g = crit.benchmark_group("component_predict_update");
+    let cases: Vec<(&str, ComponentFactory)> = vec![
+        ("bim", Box::new(|| Box::new(Hbim::new(HbimConfig::bim(4096, 8))))),
+        (
+            "gshare",
+            Box::new(|| Box::new(Hbim::new(HbimConfig::gbim(4096, 12, 8)))),
+        ),
+        ("btb", Box::new(|| Box::new(Btb::new(BtbConfig::large(8))))),
+        (
+            "ubtb",
+            Box::new(|| Box::new(MicroBtb::new(MicroBtbConfig::small(8)))),
+        ),
+        ("gtag", Box::new(|| Box::new(Gtag::new(GtagConfig::b2(8))))),
+        ("tage", Box::new(|| Box::new(Tage::new(TageConfig::paper(8))))),
+        (
+            "loop",
+            Box::new(|| Box::new(LoopPredictor::new(LoopConfig::paper(8)))),
+        ),
+        (
+            "tourney",
+            Box::new(|| Box::new(Tourney::new(TourneyConfig::paper(8)))),
+        ),
+        (
+            "perceptron",
+            Box::new(|| Box::new(Perceptron::new(PerceptronConfig::default_size(8)))),
+        ),
+    ];
+    for (name, mk) in cases {
+        g.bench_function(name, |b| {
+            let mut c = mk();
+            b.iter(|| drive(c.as_mut(), 100));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_components);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! History-reach ablation: branches correlated with an outcome `d` ago are
+//! learnable only by predictors whose effective history reaches `d`. The
+//! sweep traces each design's accuracy as the correlation deepens —
+//! B2's 16-bit GTAG falls off first, the Tournament's 14-bit GHT next,
+//! TAGE's geometric tables (up to 64 bits) last.
+
+use cobra_bench::run_one;
+use cobra_core::designs;
+use cobra_uarch::CoreConfig;
+use cobra_workloads::kernels;
+
+fn main() {
+    println!("ABLATION — accuracy vs correlation depth");
+    println!(
+        "{:<7} {:>12} {:>12} {:>12}",
+        "depth", "Tournament", "B2", "TAGE-L"
+    );
+    for depth in [1u32, 4, 8, 12, 16, 24, 32, 48] {
+        let spec = kernels::history_depth(depth);
+        let mut row = format!("{depth:<7}");
+        for design in designs::all() {
+            let r = run_one(&design, CoreConfig::boom_4wide(), &spec);
+            row += &format!(" {:>11.2}%", r.counters.branch_accuracy());
+        }
+        println!("{row}");
+    }
+    println!();
+    println!("Expected shape: every design near-perfect at shallow depths;");
+    println!("accuracy decays as the correlation outruns each design's");
+    println!("history reach, with TAGE-L degrading last.");
+}

@@ -1,0 +1,22 @@
+//! Fig 7: pipeline diagrams of the three COBRA-generated predictors.
+
+use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
+use cobra_core::designs;
+
+fn main() {
+    println!("FIG 7 — Pipeline diagrams of the COBRA-generated predictors");
+    for design in designs::all() {
+        let bpu = BranchPredictorUnit::build(&design, BpuConfig::default())
+            .expect("stock design composes");
+        println!();
+        println!("{}:  {}", design.name, design.topology);
+        for stage in bpu.describe_pipeline() {
+            let responders = if stage.responders.is_empty() {
+                "(pipelining)".to_string()
+            } else {
+                stage.responders.join(", ")
+            };
+            println!("  Fetch-{}: {}", stage.stage, responders);
+        }
+    }
+}

@@ -1,0 +1,52 @@
+//! Table I: parameters and storage of the evaluated COBRA designs.
+
+use cobra_bench::reference::TABLE1_STORAGE_KB;
+use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
+use cobra_core::designs;
+
+fn main() {
+    println!("TABLE I — Parameters of evaluated COBRA-designed predictors");
+    println!(
+        "{:<12} {:<42} {:>12} {:>12}",
+        "Design", "Topology", "paper (KB)", "ours (KB)"
+    );
+    for design in designs::all() {
+        let bpu = BranchPredictorUnit::build(&design, BpuConfig::default())
+            .expect("stock design composes");
+        let paper = TABLE1_STORAGE_KB
+            .iter()
+            .find(|(n, _)| *n == design.name)
+            .map_or(f64::NAN, |(_, kb)| *kb);
+        // Component storage only (the paper's budgets exclude management
+        // structures, which Fig 8 charges separately as "Meta").
+        let comp_kb: f64 = bpu
+            .storage_by_component()
+            .iter()
+            .map(|(_, r)| r.kilobytes())
+            .sum();
+        println!(
+            "{:<12} {:<42} {:>12.1} {:>12.1}",
+            design.name, design.topology, paper, comp_kb
+        );
+        for (label, r) in bpu.storage_by_component() {
+            println!("{:<12}   {:<40} {:>12} {:>12.2}", "", label, "", r.kilobytes());
+        }
+        println!(
+            "{:<12}   {:<40} {:>12} {:>12.2}",
+            "",
+            "management (history file + providers)",
+            "",
+            bpu.meta_storage().kilobytes()
+        );
+        println!(
+            "{:<12}   ghist {} bits, local histories: {}",
+            "",
+            design.ghist_bits,
+            if design.lhist_entries > 0 {
+                format!("{} entries", design.lhist_entries)
+            } else {
+                "none".into()
+            }
+        );
+    }
+}

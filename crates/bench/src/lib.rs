@@ -1,0 +1,101 @@
+//! # cobra-bench
+//!
+//! The experiment harness: one binary per table and figure of the paper,
+//! each printing the same rows/series the paper reports, next to the
+//! paper's published values where they exist.
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `table1_storage` | Table I — predictor storage budgets |
+//! | `table2_config` | Table II — core configuration |
+//! | `table3_systems` | Table III — evaluated systems |
+//! | `fig7_pipelines` | Fig 7 — pipeline diagrams of the three designs |
+//! | `fig8_area` | Fig 8 — predictor area breakdowns |
+//! | `fig9_core_area` | Fig 9 — core area with each predictor |
+//! | `fig10_spec` | Fig 10 — SPECint17 MPKI and IPC |
+//! | `intro_serialization` | §I — serialized-fetch IPC loss on Dhrystone |
+//! | `sec6a_tage_latency` | §VI-A — 2-cycle vs 3-cycle TAGE |
+//! | `sec6b_ghist_repair` | §VI-B — history repair-with-replay sweep |
+//! | `sec6c_sfb` | §VI-C — short-forwards-branch predication |
+//! | `trace_vs_hardware` | §II-B — trace-model error vs the speculating core |
+//! | `ablation_superscalar` | §III-C — superscalar vs per-packet counter tables |
+//! | `ablation_ittage` | extension — ITTAGE indirect-target prediction |
+//! | `ablation_history_depth` | extension — accuracy vs correlation depth |
+//! | `energy_report` | §VI-A future work — predictor SRAM energy |
+//! | `ablation_alternatives` | extension — statistical-corrector and perceptron designs |
+//!
+//! Run lengths scale with the `COBRA_INSTS` environment variable
+//! (instructions per measured run, default 500 000; warm-up is 40 % of it).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod reference;
+
+use cobra_core::composer::Design;
+use cobra_uarch::{Core, CoreConfig, PerfReport};
+use cobra_workloads::ProgramSpec;
+
+/// Instructions per measured run (the `COBRA_INSTS` environment variable,
+/// default 500 000).
+pub fn run_insts() -> u64 {
+    std::env::var("COBRA_INSTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(500_000)
+}
+
+/// Builds a core for `design` and `spec`, runs warm-up plus a measured
+/// region, and returns the measured report.
+///
+/// # Panics
+///
+/// Panics if the design fails to compose — harness binaries treat that as
+/// a fatal configuration error.
+pub fn run_one(design: &Design, cfg: CoreConfig, spec: &ProgramSpec) -> PerfReport {
+    let measure = run_insts();
+    let warmup = measure * 2 / 5;
+    let mut core =
+        Core::new(design, cfg, spec.build()).expect("stock designs always compose");
+    core.run_with_warmup(warmup, measure, &spec.name)
+}
+
+/// Prints a horizontal bar scaled to `frac` of `width` characters.
+pub fn bar(frac: f64, width: usize) -> String {
+    let n = (frac.clamp(0.0, 1.0) * width as f64).round() as usize;
+    "█".repeat(n)
+}
+
+/// Formats a percentage delta between `new` and `base`.
+pub fn pct_delta(new: f64, base: f64) -> String {
+    if base == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", 100.0 * (new - base) / base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(0.0, 10), "");
+        assert_eq!(bar(1.0, 4), "████");
+        assert_eq!(bar(0.5, 4).chars().count(), 2);
+    }
+
+    #[test]
+    fn pct_delta_formats() {
+        assert_eq!(pct_delta(1.15, 1.0), "+15.0%");
+        assert_eq!(pct_delta(0.97, 1.0), "-3.0%");
+        assert_eq!(pct_delta(1.0, 0.0), "n/a");
+    }
+
+    #[test]
+    fn run_insts_defaults() {
+        // Do not set the env var here (tests run in parallel); just check
+        // the default path parses.
+        assert!(run_insts() >= 1000);
+    }
+}

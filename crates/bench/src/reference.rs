@@ -1,0 +1,82 @@
+//! Published reference values from the paper, printed beside measured
+//! results so every harness shows paper-vs-measured in one table.
+
+/// Table I storage budgets, in kilobytes.
+pub const TABLE1_STORAGE_KB: [(&str, f64); 3] =
+    [("Tournament", 6.8), ("B2", 6.5), ("TAGE-L", 28.0)];
+
+/// Fig 10 reference series: approximate branch-MPKI read off the paper's
+/// figure for the three COBRA-BOOM variants, per benchmark
+/// (perlbench, gcc, mcf, omnetpp, xalancbmk, x264, deepsjeng, leela,
+/// exchange2, xz).
+pub const FIG10_MPKI_TAGE_L: [f64; 10] =
+    [2.0, 5.0, 12.0, 5.0, 2.0, 1.0, 6.5, 12.5, 1.5, 6.0];
+/// B2 reference MPKI series (see [`FIG10_MPKI_TAGE_L`]).
+pub const FIG10_MPKI_B2: [f64; 10] = [4.5, 9.0, 16.0, 8.0, 4.0, 2.5, 10.0, 17.0, 3.5, 8.0];
+/// Tournament reference MPKI series (see [`FIG10_MPKI_TAGE_L`]).
+pub const FIG10_MPKI_TOURNAMENT: [f64; 10] =
+    [6.0, 11.0, 16.5, 9.0, 5.5, 3.0, 11.0, 18.0, 4.0, 8.5];
+
+/// Fig 10 commercial-core reference points (approximate): MPKI and IPC for
+/// Intel Skylake and AWS Graviton on the same suite. The paper notes the
+/// comparison "is approximate due to different ISAs".
+pub const FIG10_SKYLAKE: [(f64, f64); 10] = [
+    (1.0, 1.9),
+    (3.5, 1.2),
+    (9.0, 0.5),
+    (3.0, 0.6),
+    (1.0, 1.3),
+    (0.8, 2.2),
+    (4.5, 1.6),
+    (9.5, 1.4),
+    (1.0, 2.3),
+    (4.0, 1.1),
+];
+/// Graviton reference points (see [`FIG10_SKYLAKE`]).
+pub const FIG10_GRAVITON: [(f64, f64); 10] = [
+    (1.8, 1.1),
+    (5.0, 0.8),
+    (11.0, 0.35),
+    (4.5, 0.4),
+    (1.8, 0.9),
+    (1.2, 1.4),
+    (6.0, 1.0),
+    (12.0, 0.9),
+    (1.8, 1.5),
+    (5.5, 0.7),
+];
+
+/// Section VI headline numbers.
+pub mod sec6 {
+    /// §VI-A: IPC degradation from the 3-cycle (vs 2-cycle) TAGE.
+    pub const TAGE_LATENCY_IPC_LOSS_PCT: f64 = 1.0;
+    /// §VI-B: mean IPC gain from replaying fetch on history repair.
+    pub const REPLAY_IPC_GAIN_PCT: f64 = 15.0;
+    /// §VI-B: mispredict-rate reduction from replaying.
+    pub const REPLAY_MISPREDICT_REDUCTION_PCT: f64 = 25.0;
+    /// §VI-B: Dhrystone IPC cost of replaying.
+    pub const REPLAY_DHRYSTONE_IPC_LOSS_PCT: f64 = 3.0;
+    /// §VI-C: CoreMark accuracy without / with SFB predication.
+    pub const SFB_ACCURACY: (f64, f64) = (97.0, 99.1);
+    /// §VI-C: CoreMarks/MHz without / with SFB predication.
+    pub const SFB_COREMARKS_PER_MHZ: (f64, f64) = (4.9, 6.1);
+    /// §I: IPC loss from serializing fetch behind branches (Dhrystone).
+    pub const SERIALIZATION_IPC_LOSS_PCT: f64 = 15.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_series_cover_all_benchmarks() {
+        assert_eq!(FIG10_MPKI_TAGE_L.len(), 10);
+        assert_eq!(FIG10_SKYLAKE.len(), 10);
+        // The paper's ordering: TAGE-L is the most accurate design on
+        // every benchmark.
+        for i in 0..10 {
+            assert!(FIG10_MPKI_TAGE_L[i] <= FIG10_MPKI_B2[i]);
+            assert!(FIG10_MPKI_B2[i] <= FIG10_MPKI_TOURNAMENT[i]);
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! The COBRA sub-component library (paper Section III-G).
+//!
+//! Each module implements one predictor sub-component against the
+//! [`Component`](crate::Component) interface:
+//!
+//! * [`Hbim`] — bimodal counter tables with parameterized indexing (PC,
+//!   global history, local history, or hashed combinations), covering BIM,
+//!   GBIM/GHT, LBIM/LHT, GShare, and GSelect configurations.
+//! * [`Btb`] — a large 2-cycle set-associative branch target buffer.
+//! * [`MicroBtb`] — a small 1-cycle fully-associative uBTB that also
+//!   provides a direction hint.
+//! * [`Gtag`] — a single partially-tagged global-history table (the
+//!   original BOOM "B2" backing predictor).
+//! * [`Tage`] — a multi-table tagged geometric-history predictor following
+//!   Seznec's algorithm.
+//! * [`LoopPredictor`] — a loop-exit corrector with speculative iteration
+//!   counters (updated at query time, repaired on mispredicts).
+//! * [`Tourney`] — a tournament arbitration scheme choosing between two
+//!   sub-predictors.
+//! * [`Perceptron`] — an extension component (Section III-G notes
+//!   perceptrons "may be implemented similarly").
+//! * [`Ittage`] — an extension indirect-target predictor after Seznec's
+//!   ITTAGE, giving polymorphic dispatch sites history-correlated targets.
+//! * [`StatisticalCorrector`] — an extension component reverting
+//!   low-confidence predictions, after TAGE-SC-L's corrector.
+
+mod btb;
+mod gtag;
+mod hbim;
+mod ittage;
+mod loop_pred;
+mod perceptron;
+mod stat_corrector;
+mod tage;
+mod tourney;
+mod ubtb;
+
+pub use btb::{Btb, BtbConfig};
+pub use gtag::{Gtag, GtagConfig};
+pub use hbim::{Hbim, HbimConfig, IndexScheme};
+pub use ittage::{Ittage, IttageConfig};
+pub use loop_pred::{LoopConfig, LoopPredictor};
+pub use perceptron::{Perceptron, PerceptronConfig};
+pub use stat_corrector::{CorrectorConfig, StatisticalCorrector};
+pub use tage::{Tage, TageConfig};
+pub use tourney::{Tourney, TourneyConfig};
+pub use ubtb::{MicroBtb, MicroBtbConfig};

@@ -1,0 +1,140 @@
+//! Component factories and packaged designs.
+
+use crate::iface::Component;
+use std::collections::HashMap;
+use std::fmt;
+
+type Factory = Box<dyn Fn(u8) -> Box<dyn Component> + Send + Sync>;
+
+/// Maps topology component names (e.g. `"TAGE3"`) to factories that build
+/// the corresponding sub-component for a given fetch width.
+///
+/// A registry is the user's point of control over component
+/// parameterization: the same topology string elaborates differently under
+/// different registries, mirroring how the paper's Chisel composer is
+/// driven by constructed `Module` instances (Fig 5).
+#[derive(Default)]
+pub struct ComponentRegistry {
+    factories: HashMap<String, Factory>,
+}
+
+impl ComponentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a factory under `name`. Re-registering a name replaces the
+    /// previous factory.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(u8) -> Box<dyn Component> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.factories.insert(name.into(), Box::new(factory));
+        self
+    }
+
+    /// Builds the component registered under `name` for `width`-slot
+    /// packets, or `None` if the name is unknown.
+    pub fn build(&self, name: &str, width: u8) -> Option<Box<dyn Component>> {
+        self.factories.get(name).map(|f| f(width))
+    }
+
+    /// Registered names, unordered.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.factories.keys().map(String::as_str)
+    }
+
+    /// Number of registered factories.
+    pub fn len(&self) -> usize {
+        self.factories.len()
+    }
+
+    /// `true` if nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.factories.is_empty()
+    }
+}
+
+impl fmt::Debug for ComponentRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut names: Vec<&str> = self.names().collect();
+        names.sort_unstable();
+        f.debug_struct("ComponentRegistry")
+            .field("names", &names)
+            .finish()
+    }
+}
+
+/// A complete predictor design: a topology, the registry that elaborates
+/// it, and the history-provider parameters (Table I's per-design history
+/// configuration).
+pub struct Design {
+    /// Human-readable design name (e.g. `"TAGE-L"`).
+    pub name: String,
+    /// Topology in the paper's notation.
+    pub topology: String,
+    /// Component factories for every name in the topology.
+    pub registry: ComponentRegistry,
+    /// Global-history register width in bits.
+    pub ghist_bits: u32,
+    /// Local-history table entries (0 disables the local provider even if a
+    /// component asks for local bits).
+    pub lhist_entries: u64,
+}
+
+impl fmt::Debug for Design {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Design")
+            .field("name", &self.name)
+            .field("topology", &self.topology)
+            .field("ghist_bits", &self.ghist_bits)
+            .field("lhist_entries", &self.lhist_entries)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::components::{Hbim, HbimConfig};
+
+    fn registry_with_bim() -> ComponentRegistry {
+        let mut r = ComponentRegistry::new();
+        r.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(1024, w))));
+        r
+    }
+
+    #[test]
+    fn builds_registered_component() {
+        let r = registry_with_bim();
+        let c = r.build("BIM2", 4).expect("registered");
+        assert_eq!(c.kind(), "bim");
+        assert_eq!(c.latency(), 2);
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        let r = registry_with_bim();
+        assert!(r.build("NOPE", 4).is_none());
+    }
+
+    #[test]
+    fn reregistering_replaces() {
+        let mut r = registry_with_bim();
+        r.register("BIM2", |w| {
+            Box::new(Hbim::new(HbimConfig::bim(4096, w)))
+        });
+        let c = r.build("BIM2", 4).unwrap();
+        assert_eq!(c.storage().total_bits(), 4096 * 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn debug_lists_names() {
+        let r = registry_with_bim();
+        let s = format!("{r:?}");
+        assert!(s.contains("BIM2"));
+    }
+}

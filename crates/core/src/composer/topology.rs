@@ -1,0 +1,398 @@
+//! The topological representation of a predictor design (Section IV-A).
+//!
+//! A topology is an ordering of sub-components: `a > b` means `a` provides
+//! the final prediction whenever it is ambiguous (i.e. `a` overrides `b`),
+//! and an arbitration node `SEL > [x, y]` means `SEL` chooses among the
+//! sub-topologies `x` and `y`. The notation used in the paper parses
+//! directly:
+//!
+//! ```
+//! use cobra_core::composer::Topology;
+//!
+//! let t = Topology::parse("LOOP3 > TOURNEY3 > [GBIM2 > BTB2, LBIM2]")?;
+//! assert_eq!(t.component_names(), vec!["LOOP3", "TOURNEY3", "GBIM2", "BTB2", "LBIM2"]);
+//! # Ok::<(), cobra_core::ComposeError>(())
+//! ```
+
+use crate::error::ComposeError;
+use std::fmt;
+
+/// A predictor topology: the ordering of sub-components that defines which
+/// component provides the final prediction at each pipeline stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Topology {
+    /// A single named sub-component.
+    Leaf(String),
+    /// `Over(a, b)`: `a` overrides `b`; `b`'s output feeds `a`'s
+    /// `predict_in`.
+    Over(Box<Topology>, Box<Topology>),
+    /// An arbitration scheme choosing among several sub-topologies.
+    Arbiter {
+        /// The selecting component's name.
+        selector: String,
+        /// The competing sub-topologies, in `predict_in` port order.
+        inputs: Vec<Topology>,
+    },
+}
+
+impl Topology {
+    /// Parses the paper's topology notation.
+    ///
+    /// Grammar (whitespace-insensitive):
+    ///
+    /// ```text
+    /// expr  := unit ('>' (list | expr))?
+    /// unit  := NAME | '(' expr ')'
+    /// list  := '[' expr (',' expr)* ']'
+    /// ```
+    ///
+    /// `NAME > [..]` forms an arbiter; `>` is right-associative, so
+    /// `A > B > C` is `A > (B > C)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComposeError::Parse`] on malformed input.
+    pub fn parse(text: &str) -> Result<Self, ComposeError> {
+        let tokens = tokenize(text)?;
+        let mut p = Parser { tokens, pos: 0 };
+        let t = p.parse_expr()?;
+        if p.pos != p.tokens.len() {
+            return Err(ComposeError::Parse {
+                reason: format!("unexpected trailing input at token {}", p.pos),
+            });
+        }
+        Ok(t)
+    }
+
+    /// All component names in override order (stronger first, arbiter
+    /// inputs in port order).
+    pub fn component_names(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.collect_names(&mut out);
+        out
+    }
+
+    fn collect_names<'a>(&'a self, out: &mut Vec<&'a str>) {
+        match self {
+            Topology::Leaf(n) => out.push(n),
+            Topology::Over(a, b) => {
+                a.collect_names(out);
+                b.collect_names(out);
+            }
+            Topology::Arbiter { selector, inputs } => {
+                out.push(selector);
+                for i in inputs {
+                    i.collect_names(out);
+                }
+            }
+        }
+    }
+
+    /// Number of sub-components in the topology.
+    pub fn len(&self) -> usize {
+        self.component_names().len()
+    }
+
+    /// `false`: a topology always contains at least one component.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Topology::Leaf(n) => f.write_str(n),
+            Topology::Over(a, b) => {
+                // Parenthesize a left operand that is itself a chain.
+                match **a {
+                    Topology::Leaf(_) | Topology::Arbiter { .. } => write!(f, "{a} > {b}"),
+                    _ => write!(f, "({a}) > {b}"),
+                }
+            }
+            Topology::Arbiter { selector, inputs } => {
+                write!(f, "{selector} > [")?;
+                for (i, t) in inputs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Token {
+    Name(String),
+    Gt,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Comma,
+}
+
+fn tokenize(text: &str) -> Result<Vec<Token>, ComposeError> {
+    let mut tokens = Vec::new();
+    let mut chars = text.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            ' ' | '\t' | '\n' | '\r' => {
+                chars.next();
+            }
+            '>' => {
+                chars.next();
+                tokens.push(Token::Gt);
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::LParen);
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::RParen);
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token::LBracket);
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token::RBracket);
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Comma);
+            }
+            c if c.is_ascii_alphanumeric() || c == '_' || c == '-' => {
+                let mut name = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
+                        name.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Name(name));
+            }
+            other => {
+                return Err(ComposeError::Parse {
+                    reason: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    if tokens.is_empty() {
+        return Err(ComposeError::Parse {
+            reason: "empty topology".into(),
+        });
+    }
+    Ok(tokens)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Token) -> Result<(), ComposeError> {
+        match self.next() {
+            Some(t) if t == want => Ok(()),
+            other => Err(ComposeError::Parse {
+                reason: format!("expected {want:?}, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Topology, ComposeError> {
+        let left = self.parse_unit()?;
+        if self.peek() == Some(&Token::Gt) {
+            self.next();
+            if self.peek() == Some(&Token::LBracket) {
+                let selector = match left {
+                    Topology::Leaf(n) => n,
+                    other => {
+                        return Err(ComposeError::Parse {
+                            reason: format!(
+                                "arbiter selector must be a single component, found `{other}`"
+                            ),
+                        })
+                    }
+                };
+                let inputs = self.parse_list()?;
+                return Ok(Topology::Arbiter { selector, inputs });
+            }
+            let right = self.parse_expr()?;
+            return Ok(Topology::Over(Box::new(left), Box::new(right)));
+        }
+        Ok(left)
+    }
+
+    fn parse_unit(&mut self) -> Result<Topology, ComposeError> {
+        match self.next() {
+            Some(Token::Name(n)) => Ok(Topology::Leaf(n)),
+            Some(Token::LParen) => {
+                let inner = self.parse_expr()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            other => Err(ComposeError::Parse {
+                reason: format!("expected a component name or `(`, found {other:?}"),
+            }),
+        }
+    }
+
+    fn parse_list(&mut self) -> Result<Vec<Topology>, ComposeError> {
+        self.expect(Token::LBracket)?;
+        let mut items = vec![self.parse_expr()?];
+        loop {
+            match self.next() {
+                Some(Token::Comma) => items.push(self.parse_expr()?),
+                Some(Token::RBracket) => break,
+                other => {
+                    return Err(ComposeError::Parse {
+                        reason: format!("expected `,` or `]`, found {other:?}"),
+                    })
+                }
+            }
+        }
+        if items.len() < 2 {
+            return Err(ComposeError::Parse {
+                reason: "an arbiter needs at least two inputs".into(),
+            });
+        }
+        Ok(items)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_simple_chain() {
+        let t = Topology::parse("GTAG3 > BTB2 > BIM2").unwrap();
+        assert_eq!(t.component_names(), vec!["GTAG3", "BTB2", "BIM2"]);
+        match &t {
+            Topology::Over(a, _) => assert_eq!(**a, Topology::Leaf("GTAG3".into())),
+            _ => panic!("expected a chain"),
+        }
+    }
+
+    #[test]
+    fn chain_is_right_associative() {
+        let t = Topology::parse("A > B > C").unwrap();
+        let expect = Topology::Over(
+            Box::new(Topology::Leaf("A".into())),
+            Box::new(Topology::Over(
+                Box::new(Topology::Leaf("B".into())),
+                Box::new(Topology::Leaf("C".into())),
+            )),
+        );
+        assert_eq!(t, expect);
+    }
+
+    #[test]
+    fn parses_paper_tage_l_topology() {
+        let t = Topology::parse("LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1").unwrap();
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn parses_arbiter() {
+        let t = Topology::parse("TOURNEY3 > [GHT2, LHT2]").unwrap();
+        match &t {
+            Topology::Arbiter { selector, inputs } => {
+                assert_eq!(selector, "TOURNEY3");
+                assert_eq!(inputs.len(), 2);
+            }
+            _ => panic!("expected arbiter"),
+        }
+    }
+
+    #[test]
+    fn parses_nested_arbiter_operands() {
+        let t = Topology::parse("TOURNEY3 > [GBIM2 > BTB2, LBIM2]").unwrap();
+        assert_eq!(
+            t.component_names(),
+            vec!["TOURNEY3", "GBIM2", "BTB2", "LBIM2"]
+        );
+    }
+
+    #[test]
+    fn parses_loop_over_arbiter() {
+        let t = Topology::parse("LOOP3 > TOURNEY3 > [GHT2, LHT2]").unwrap();
+        match &t {
+            Topology::Over(a, b) => {
+                assert_eq!(**a, Topology::Leaf("LOOP3".into()));
+                assert!(matches!(**b, Topology::Arbiter { .. }));
+            }
+            _ => panic!("expected loop over arbiter"),
+        }
+    }
+
+    #[test]
+    fn parses_parenthesized_operand_inside_list() {
+        let t = Topology::parse("TOURNEY3 > [(LOOP2 > GHT2), LHT2]").unwrap();
+        assert_eq!(
+            t.component_names(),
+            vec!["TOURNEY3", "LOOP2", "GHT2", "LHT2"]
+        );
+    }
+
+    #[test]
+    fn display_round_trips() {
+        for s in [
+            "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1",
+            "TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+            "LOOP3 > TOURNEY3 > [GHT2, LHT2]",
+        ] {
+            let t = Topology::parse(s).unwrap();
+            let t2 = Topology::parse(&t.to_string()).unwrap();
+            assert_eq!(t, t2, "round-trip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn rejects_single_input_arbiter() {
+        let e = Topology::parse("T3 > [A2]").unwrap_err();
+        assert!(matches!(e, ComposeError::Parse { .. }));
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(Topology::parse("A > B C").is_err());
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert!(Topology::parse("   ").is_err());
+    }
+
+    #[test]
+    fn rejects_compound_selector() {
+        assert!(Topology::parse("(A > B) > [C, D]").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_character() {
+        assert!(Topology::parse("A + B").is_err());
+    }
+}

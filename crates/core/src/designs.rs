@@ -1,0 +1,229 @@
+//! The three predictor designs evaluated in the paper (Table I / Fig 7).
+//!
+//! | Design | Topology | Histories |
+//! |---|---|---|
+//! | Tournament | `TOURNEY3 > [GBIM2 > BTB2, LBIM2]` | 32-bit global, 256×32-bit local |
+//! | B2 | `GTAG3 > BTB2 > BIM2` | 16-bit global |
+//! | TAGE-L | `LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1` | 64-bit global |
+//!
+//! Each function returns a [`Design`] whose registry elaborates the
+//! paper's parameterization; pass it to
+//! [`BranchPredictorUnit::build`](crate::composer::BranchPredictorUnit::build).
+
+use crate::components::{
+    Btb, BtbConfig, Gtag, GtagConfig, Hbim, HbimConfig, IndexScheme, LoopConfig, LoopPredictor,
+    MicroBtb, MicroBtbConfig, Tage, TageConfig, Tourney, TourneyConfig,
+};
+use crate::composer::{ComponentRegistry, Design};
+
+/// The "Tournament" design: a globally-indexed selector choosing between
+/// untagged global- and local-history counter tables, similar to the
+/// Alpha 21264 and riscyOOO predictors.
+///
+/// Table I: 32-bit global and 256×32-bit local histories, a 2K-entry BTB
+/// with a 16K-entry 2-bit BHT, and 1K tournament counters.
+pub fn tournament() -> Design {
+    let mut registry = ComponentRegistry::new();
+    // Alpha-style: the global table is indexed by the history register
+    // alone — the untagged indexing whose aliasing Section V-B calls out.
+    registry.register("GBIM2", |w| {
+        Box::new(Hbim::new(HbimConfig {
+            entries: 16384,
+            counter_bits: 2,
+            index: IndexScheme::GlobalHistory { bits: 14 },
+            latency: 2,
+            width: w,
+            superscalar: true,
+        }))
+    });
+    registry.register("LBIM2", |w| {
+        Box::new(Hbim::new(HbimConfig {
+            entries: 1024,
+            counter_bits: 2,
+            index: IndexScheme::LocalHistory { bits: 32 },
+            latency: 2,
+            width: w,
+            superscalar: true,
+        }))
+    });
+    registry.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
+    registry.register("TOURNEY3", |w| {
+        Box::new(Tourney::new(TourneyConfig::paper(w)))
+    });
+    Design {
+        name: "Tournament".into(),
+        topology: "TOURNEY3 > [GBIM2 > BTB2, LBIM2]".into(),
+        registry,
+        ghist_bits: 32,
+        lhist_entries: 256,
+    }
+}
+
+/// The "B2" design: the original BOOM predictor — a single partially-tagged
+/// global-history table backed by a PC-indexed bimodal table.
+///
+/// Table I: 16-bit global history, 2K partially-tagged plus 16K untagged
+/// counters, and a 2K-entry BTB.
+pub fn b2() -> Design {
+    let mut registry = ComponentRegistry::new();
+    registry.register("GTAG3", |w| Box::new(Gtag::new(GtagConfig::b2(w))));
+    registry.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
+    registry.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(16384, w))));
+    Design {
+        name: "B2".into(),
+        topology: "GTAG3 > BTB2 > BIM2".into(),
+        registry,
+        ghist_bits: 16,
+        lhist_entries: 0,
+    }
+}
+
+/// The "TAGE-L" design: a 7-table TAGE with a loop corrector, micro-BTB,
+/// and bimodal base — "vaguely similar to TAGE-SC-L, only with no
+/// statistical corrector, and a simpler loop predictor".
+///
+/// Table I: 64-bit global history, 7 TAGE tables, a 2K-entry BTB with a
+/// 32-entry uBTB, and a 256-entry loop predictor.
+pub fn tage_l() -> Design {
+    let mut registry = ComponentRegistry::new();
+    registry.register("LOOP3", |w| {
+        Box::new(LoopPredictor::new(LoopConfig::paper(w)))
+    });
+    registry.register("TAGE3", |w| Box::new(Tage::new(TageConfig::paper(w))));
+    registry.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
+    registry.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(4096, w))));
+    registry.register("UBTB1", |w| {
+        Box::new(MicroBtb::new(MicroBtbConfig::small(w)))
+    });
+    Design {
+        name: "TAGE-L".into(),
+        topology: "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1".into(),
+        registry,
+        ghist_bits: 64,
+        lhist_entries: 0,
+    }
+}
+
+/// A variant of [`tage_l`] with the TAGE latency overridden — the
+/// Section VI-A physical-design experiment (2-cycle vs 3-cycle TAGE
+/// arbitration).
+pub fn tage_l_with_latency(tage_latency: u8) -> Design {
+    let mut d = tage_l();
+    d.registry.register("TAGE3", move |w| {
+        let mut t = Tage::new(TageConfig::paper(w));
+        t.set_latency(tage_latency);
+        Box::new(t)
+    });
+    d.name = format!("TAGE-L/lat{tage_latency}");
+    d
+}
+
+/// An extension design adding the statistical corrector the paper's TAGE-L
+/// deliberately omits: `LOOP3 > SC3 > TAGE3 > BTB2 > BIM2 > UBTB1`.
+pub fn tage_sc_l() -> Design {
+    use crate::components::{CorrectorConfig, StatisticalCorrector};
+    let mut d = tage_l();
+    d.registry.register("SC3", |w| {
+        Box::new(StatisticalCorrector::new(CorrectorConfig::small(w)))
+    });
+    d.topology = "LOOP3 > SC3 > TAGE3 > BTB2 > BIM2 > UBTB1".into();
+    d.name = "TAGE-SC-L".into();
+    d
+}
+
+/// An extension design adding an ITTAGE indirect-target predictor above
+/// TAGE-L: `ITTAGE3 > LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1`. Indirect
+/// dispatch sites (interpreters, virtual calls) get history-correlated
+/// targets instead of the BTB's last-target guess.
+pub fn tage_l_it() -> Design {
+    use crate::components::{Ittage, IttageConfig};
+    let mut d = tage_l();
+    d.registry.register("ITTAGE3", |w| {
+        Box::new(Ittage::new(IttageConfig::small(w)))
+    });
+    d.topology = "ITTAGE3 > LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1".into();
+    d.name = "TAGE-L+IT".into();
+    d
+}
+
+/// An extension design using a perceptron in place of TAGE:
+/// `PERC3 > BTB2 > BIM2`.
+pub fn perceptron() -> Design {
+    use crate::components::{Perceptron, PerceptronConfig};
+    let mut registry = ComponentRegistry::new();
+    registry.register("PERC3", |w| {
+        Box::new(Perceptron::new(PerceptronConfig::default_size(w)))
+    });
+    registry.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
+    registry.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(16384, w))));
+    Design {
+        name: "Perceptron".into(),
+        topology: "PERC3 > BTB2 > BIM2".into(),
+        registry,
+        ghist_bits: 32,
+        lhist_entries: 0,
+    }
+}
+
+/// Every stock design, for sweep harnesses.
+pub fn all() -> Vec<Design> {
+    vec![tournament(), b2(), tage_l()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::composer::{BpuConfig, BranchPredictorUnit};
+
+    #[test]
+    fn all_designs_compile() {
+        for d in [
+            tournament(),
+            b2(),
+            tage_l(),
+            tage_sc_l(),
+            tage_l_it(),
+            perceptron(),
+            tage_l_with_latency(2),
+        ] {
+            let bpu = BranchPredictorUnit::build(&d, BpuConfig::default());
+            assert!(bpu.is_ok(), "design {} failed to build", d.name);
+        }
+    }
+
+    #[test]
+    fn latency_variant_changes_depth() {
+        let d3 = BranchPredictorUnit::build(&tage_l(), BpuConfig::default()).unwrap();
+        assert_eq!(d3.depth(), 3);
+        // With a 2-cycle TAGE the loop predictor (3 cycles) still bounds
+        // the depth, but the TAGE responds a stage earlier.
+        let d2 = BranchPredictorUnit::build(&tage_l_with_latency(2), BpuConfig::default());
+        assert!(d2.is_ok());
+    }
+
+    #[test]
+    fn storage_ordering_matches_table1() {
+        // Table I: TAGE-L (28 KB) is by far the largest; Tournament and B2
+        // are of the same order.
+        let size = |d: &Design| {
+            BranchPredictorUnit::build(d, BpuConfig::default())
+                .unwrap()
+                .total_storage()
+                .kilobytes()
+        };
+        let t = size(&tournament());
+        let b = size(&b2());
+        let l = size(&tage_l());
+        assert!(l > t && l > b, "TAGE-L must be the largest: {l} vs {t}, {b}");
+    }
+
+    #[test]
+    fn tournament_uses_local_histories() {
+        let bpu = BranchPredictorUnit::build(&tournament(), BpuConfig::default()).unwrap();
+        let meta = bpu.meta_storage();
+        assert!(
+            meta.srams.iter().any(|(n, _)| n == "local-history-table"),
+            "tournament generates a local history provider"
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Error types for topology parsing and pipeline composition.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while parsing a topology expression or composing a
+/// predictor pipeline from one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ComposeError {
+    /// The topology expression could not be parsed.
+    Parse {
+        /// Human-readable description of the syntax problem.
+        reason: String,
+    },
+    /// A component name in the topology has no registered factory.
+    UnknownComponent {
+        /// The unresolved name, e.g. `"FOO3"`.
+        name: String,
+    },
+    /// An arbitration component was given the wrong number of inputs.
+    ArityMismatch {
+        /// The component's label.
+        component: String,
+        /// Inputs the component requires.
+        expected: usize,
+        /// Inputs the topology supplies.
+        found: usize,
+    },
+    /// A component declared an invalid latency (zero, or exceeding the
+    /// supported pipeline depth).
+    InvalidLatency {
+        /// The component's label.
+        component: String,
+        /// The offending latency.
+        latency: u8,
+    },
+    /// A component declared more metadata bits than the framework stores.
+    MetadataTooWide {
+        /// The component's label.
+        component: String,
+        /// Declared metadata width.
+        bits: u32,
+    },
+}
+
+impl fmt::Display for ComposeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComposeError::Parse { reason } => write!(f, "topology parse error: {reason}"),
+            ComposeError::UnknownComponent { name } => {
+                write!(f, "unknown component name `{name}`")
+            }
+            ComposeError::ArityMismatch {
+                component,
+                expected,
+                found,
+            } => write!(
+                f,
+                "component `{component}` requires {expected} input(s) but the topology supplies {found}"
+            ),
+            ComposeError::InvalidLatency { component, latency } => {
+                write!(f, "component `{component}` declares invalid latency {latency}")
+            }
+            ComposeError::MetadataTooWide { component, bits } => {
+                write!(f, "component `{component}` declares {bits} metadata bits (max 64)")
+            }
+        }
+    }
+}
+
+impl Error for ComposeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_concise() {
+        let e = ComposeError::UnknownComponent {
+            name: "FOO3".into(),
+        };
+        assert_eq!(e.to_string(), "unknown component name `FOO3`");
+        let e = ComposeError::ArityMismatch {
+            component: "TOURNEY3".into(),
+            expected: 2,
+            found: 1,
+        };
+        assert!(e.to_string().contains("requires 2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_err<T: Error + Send + Sync + 'static>() {}
+        assert_err::<ComposeError>();
+    }
+}

@@ -1,0 +1,190 @@
+//! Bit-field extraction and hash-mixing helpers.
+//!
+//! Predictor index and tag functions are built from PC slices, history
+//! folds, and xor mixing. These helpers keep those expressions readable and
+//! centralize the masking discipline (an `n`-bit field is always stored in
+//! the low `n` bits of a `u64`).
+
+/// Returns a mask with the low `n` bits set.
+///
+/// # Panics
+///
+/// Panics if `n > 64`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cobra_sim::bits::mask(4), 0b1111);
+/// assert_eq!(cobra_sim::bits::mask(0), 0);
+/// assert_eq!(cobra_sim::bits::mask(64), u64::MAX);
+/// ```
+#[inline]
+pub const fn mask(n: u32) -> u64 {
+    assert!(n <= 64, "mask width exceeds 64 bits");
+    if n == 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
+    }
+}
+
+/// Extracts bits `[lo, lo+len)` of `value` (little-endian bit order).
+///
+/// # Panics
+///
+/// Panics if `lo + len > 64`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cobra_sim::bits::field(0b1011_0100, 2, 4), 0b1101);
+/// ```
+#[inline]
+pub const fn field(value: u64, lo: u32, len: u32) -> u64 {
+    assert!(lo + len <= 64, "bit field out of range");
+    (value >> lo) & mask(len)
+}
+
+/// Folds `value` down to `width` bits by xor-ing successive `width`-bit
+/// chunks, the classic hardware history-compression scheme.
+///
+/// A `width` of zero always folds to zero.
+///
+/// # Examples
+///
+/// ```
+/// // 0b1100_1010 folded to 4 bits = 0b1100 ^ 0b1010 = 0b0110
+/// assert_eq!(cobra_sim::bits::xor_fold(0b1100_1010, 4), 0b0110);
+/// ```
+#[inline]
+pub fn xor_fold(mut value: u64, width: u32) -> u64 {
+    if width == 0 {
+        return 0;
+    }
+    if width >= 64 {
+        return value;
+    }
+    let mut acc = 0u64;
+    while value != 0 {
+        acc ^= value & mask(width);
+        value >>= width;
+    }
+    acc
+}
+
+/// A cheap invertible 64-bit mixer (splitmix64 finalizer) used to decorrelate
+/// PC bits before indexing, standing in for the wire-permutation hashes used
+/// in predictor RTL.
+///
+/// # Examples
+///
+/// ```
+/// // Mixing is deterministic and spreads nearby PCs apart.
+/// let a = cobra_sim::bits::mix64(0x4000_1000);
+/// let b = cobra_sim::bits::mix64(0x4000_1004);
+/// assert_ne!(a & 0xff, b & 0xff);
+/// ```
+#[inline]
+pub const fn mix64(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Computes `ceil(log2(n))`: the number of bits needed to index `n` entries.
+///
+/// Zero and one entry need zero index bits.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(cobra_sim::bits::clog2(1), 0);
+/// assert_eq!(cobra_sim::bits::clog2(2), 1);
+/// assert_eq!(cobra_sim::bits::clog2(1000), 10);
+/// ```
+#[inline]
+pub const fn clog2(n: u64) -> u32 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros()
+    }
+}
+
+/// Returns `true` if `n` is a power of two (zero is not).
+///
+/// # Examples
+///
+/// ```
+/// assert!(cobra_sim::bits::is_pow2(1024));
+/// assert!(!cobra_sim::bits::is_pow2(0));
+/// assert!(!cobra_sim::bits::is_pow2(24));
+/// ```
+#[inline]
+pub const fn is_pow2(n: u64) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mask_widths() {
+        assert_eq!(mask(1), 1);
+        assert_eq!(mask(8), 0xff);
+        assert_eq!(mask(63), u64::MAX >> 1);
+    }
+
+    #[test]
+    fn field_extracts_middle_bits() {
+        let v = 0xdead_beef_u64;
+        assert_eq!(field(v, 0, 16), 0xbeef);
+        assert_eq!(field(v, 16, 16), 0xdead);
+        assert_eq!(field(v, 4, 8), 0xee);
+    }
+
+    #[test]
+    fn field_full_width_is_identity() {
+        assert_eq!(field(u64::MAX, 0, 64), u64::MAX);
+    }
+
+    #[test]
+    fn xor_fold_zero_width() {
+        assert_eq!(xor_fold(u64::MAX, 0), 0);
+    }
+
+    #[test]
+    fn xor_fold_wide_is_identity() {
+        assert_eq!(xor_fold(0x1234, 64), 0x1234);
+    }
+
+    #[test]
+    fn xor_fold_stays_in_width() {
+        for w in 1..16 {
+            for v in [0u64, 1, 0xffff, u64::MAX, 0x0123_4567_89ab_cdef] {
+                assert!(xor_fold(v, w) <= mask(w), "fold exceeds width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_nonzero_sensitive() {
+        assert_eq!(mix64(42), mix64(42));
+        assert_ne!(mix64(42), mix64(43));
+    }
+
+    #[test]
+    fn clog2_values() {
+        assert_eq!(clog2(0), 0);
+        assert_eq!(clog2(16), 4);
+        assert_eq!(clog2(17), 5);
+        assert_eq!(clog2(1 << 20), 20);
+    }
+
+    #[test]
+    fn pow2_checks() {
+        assert!(is_pow2(2));
+        assert!(!is_pow2(6));
+    }
+}

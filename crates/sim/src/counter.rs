@@ -1,0 +1,240 @@
+//! N-bit saturating counters.
+
+/// Qualitative state of a saturating counter, as read by prediction logic.
+///
+/// The boundary between `WeakNotTaken` and `WeakTaken` is the counter
+/// midpoint; `Strong*` states are the saturation extremes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CounterState {
+    /// Saturated at the minimum value.
+    StrongNotTaken,
+    /// Below the midpoint but not saturated.
+    WeakNotTaken,
+    /// At or above the midpoint but not saturated.
+    WeakTaken,
+    /// Saturated at the maximum value.
+    StrongTaken,
+}
+
+/// An `n`-bit up/down saturating counter (1 ≤ n ≤ 8).
+///
+/// This is the universal direction-prediction primitive: bimodal tables,
+/// tournament choosers, TAGE usefulness bits, and loop-confidence counters
+/// are all arrays of these.
+///
+/// The counter value is an unsigned integer in `[0, 2^n - 1]`; values at or
+/// above the midpoint `2^(n-1)` predict *taken*.
+///
+/// # Examples
+///
+/// ```
+/// use cobra_sim::SaturatingCounter;
+///
+/// let mut c = SaturatingCounter::weakly_taken(2);
+/// assert!(c.is_taken());
+/// c.decrement();
+/// assert!(!c.is_taken());
+/// c.train(true);
+/// assert!(c.is_taken());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SaturatingCounter {
+    value: u8,
+    bits: u8,
+}
+
+impl SaturatingCounter {
+    /// Creates a counter with `bits` width initialized to `value`
+    /// (clamped to the representable range).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or greater than 8.
+    pub fn new(bits: u8, value: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width must be 1..=8 bits");
+        let max = Self::max_for(bits);
+        Self {
+            value: value.min(max),
+            bits,
+        }
+    }
+
+    /// Creates a counter initialized to the weakly-taken midpoint.
+    pub fn weakly_taken(bits: u8) -> Self {
+        let c = Self::new(bits, 0);
+        Self {
+            value: c.midpoint(),
+            ..c
+        }
+    }
+
+    /// Creates a counter initialized to weakly-not-taken (midpoint − 1).
+    pub fn weakly_not_taken(bits: u8) -> Self {
+        let c = Self::new(bits, 0);
+        Self {
+            value: c.midpoint().saturating_sub(1),
+            ..c
+        }
+    }
+
+    const fn max_for(bits: u8) -> u8 {
+        if bits >= 8 {
+            u8::MAX
+        } else {
+            (1u8 << bits) - 1
+        }
+    }
+
+    /// The counter's maximum value (`2^bits − 1`).
+    pub fn max(&self) -> u8 {
+        Self::max_for(self.bits)
+    }
+
+    /// The taken/not-taken decision threshold (`2^(bits−1)`).
+    pub fn midpoint(&self) -> u8 {
+        1 << (self.bits - 1)
+    }
+
+    /// Current raw value.
+    pub fn value(&self) -> u8 {
+        self.value
+    }
+
+    /// Counter width in bits.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Overwrites the raw value (clamped). Used when restoring metadata.
+    pub fn set(&mut self, value: u8) {
+        self.value = value.min(self.max());
+    }
+
+    /// `true` if the counter currently predicts taken.
+    pub fn is_taken(&self) -> bool {
+        self.value >= self.midpoint()
+    }
+
+    /// `true` if saturated in either direction (a "high-confidence" counter).
+    pub fn is_strong(&self) -> bool {
+        self.value == 0 || self.value == self.max()
+    }
+
+    /// Qualitative state of the counter.
+    pub fn state(&self) -> CounterState {
+        match (self.is_taken(), self.is_strong()) {
+            (true, true) => CounterState::StrongTaken,
+            (true, false) => CounterState::WeakTaken,
+            (false, true) => CounterState::StrongNotTaken,
+            (false, false) => CounterState::WeakNotTaken,
+        }
+    }
+
+    /// Saturating increment.
+    pub fn increment(&mut self) {
+        if self.value < self.max() {
+            self.value += 1;
+        }
+    }
+
+    /// Saturating decrement.
+    pub fn decrement(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Trains the counter toward `taken`.
+    pub fn train(&mut self, taken: bool) {
+        if taken {
+            self.increment();
+        } else {
+            self.decrement();
+        }
+    }
+
+    /// Halves the counter's distance from the midpoint — the periodic "reset"
+    /// used by TAGE usefulness aging.
+    pub fn age(&mut self) {
+        let mid = self.midpoint() as i16;
+        let delta = self.value as i16 - mid;
+        self.value = (mid + delta / 2) as u8;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_high() {
+        let mut c = SaturatingCounter::new(2, 3);
+        c.increment();
+        assert_eq!(c.value(), 3);
+        assert_eq!(c.state(), CounterState::StrongTaken);
+    }
+
+    #[test]
+    fn saturates_low() {
+        let mut c = SaturatingCounter::new(2, 0);
+        c.decrement();
+        assert_eq!(c.value(), 0);
+        assert_eq!(c.state(), CounterState::StrongNotTaken);
+    }
+
+    #[test]
+    fn midpoint_threshold() {
+        let c = SaturatingCounter::new(3, 4);
+        assert!(c.is_taken());
+        let c = SaturatingCounter::new(3, 3);
+        assert!(!c.is_taken());
+    }
+
+    #[test]
+    fn weak_initializers() {
+        assert!(SaturatingCounter::weakly_taken(2).is_taken());
+        assert!(!SaturatingCounter::weakly_not_taken(2).is_taken());
+        assert!(!SaturatingCounter::weakly_taken(2).is_strong());
+    }
+
+    #[test]
+    fn train_hysteresis() {
+        let mut c = SaturatingCounter::new(2, 3);
+        c.train(false);
+        assert!(c.is_taken(), "one bad outcome must not flip a strong counter");
+        c.train(false);
+        assert!(!c.is_taken());
+    }
+
+    #[test]
+    fn set_clamps() {
+        let mut c = SaturatingCounter::new(2, 0);
+        c.set(200);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn aging_moves_toward_midpoint() {
+        let mut c = SaturatingCounter::new(3, 7);
+        c.age();
+        assert_eq!(c.value(), 5);
+        let mut c = SaturatingCounter::new(3, 0);
+        c.age();
+        assert_eq!(c.value(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_width_rejected() {
+        let _ = SaturatingCounter::new(0, 0);
+    }
+
+    #[test]
+    fn one_bit_counter() {
+        let mut c = SaturatingCounter::new(1, 0);
+        assert!(!c.is_taken());
+        c.train(true);
+        assert!(c.is_taken());
+        assert!(c.is_strong());
+    }
+}

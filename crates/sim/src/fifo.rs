@@ -1,0 +1,144 @@
+//! A bounded FIFO with hardware-like enqueue/dequeue semantics.
+
+use std::collections::VecDeque;
+
+/// A bounded first-in-first-out queue used for decoupling pipeline stages
+/// (fetch buffers, issue queues, load/store queues).
+///
+/// Unlike [`CircularBuffer`](crate::CircularBuffer) it has no token-based
+/// random access; it models a simple ready/valid queue with backpressure.
+///
+/// # Examples
+///
+/// ```
+/// use cobra_sim::Fifo;
+///
+/// let mut fb: Fifo<u32> = Fifo::new(2);
+/// assert!(fb.enqueue(1).is_ok());
+/// assert!(fb.enqueue(2).is_ok());
+/// assert!(fb.enqueue(3).is_err(), "full queue exerts backpressure");
+/// assert_eq!(fb.dequeue(), Some(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Fifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Fifo<T> {
+    /// Creates a queue holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be nonzero");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Maximum occupancy.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// `true` when a further enqueue would fail.
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Adds an item at the back, or hands it back when full.
+    pub fn enqueue(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            Err(item)
+        } else {
+            self.items.push_back(item);
+            Ok(())
+        }
+    }
+
+    /// Removes the front item.
+    pub fn dequeue(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Borrows the front item.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Drops all contents (pipeline flush).
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates front-to-back.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_ordering() {
+        let mut q = Fifo::new(4);
+        for i in 0..4 {
+            q.enqueue(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.dequeue(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn backpressure() {
+        let mut q = Fifo::new(1);
+        q.enqueue('a').unwrap();
+        assert_eq!(q.enqueue('b'), Err('b'));
+        assert_eq!(q.free(), 0);
+    }
+
+    #[test]
+    fn clear_flushes() {
+        let mut q = Fifo::new(3);
+        q.enqueue(1).unwrap();
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn front_peeks_without_removing() {
+        let mut q = Fifo::new(2);
+        q.enqueue(7).unwrap();
+        assert_eq!(q.front(), Some(&7));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be nonzero")]
+    fn zero_capacity_rejected() {
+        let _: Fifo<u8> = Fifo::new(0);
+    }
+}

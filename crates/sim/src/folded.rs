@@ -1,0 +1,180 @@
+//! Incrementally-maintained folded history, as implemented by TAGE hardware.
+//!
+//! A hardware TAGE cannot afford to re-fold a long history vector every
+//! cycle, so it keeps, per table, a small register holding the xor-fold of
+//! the last `length` history bits compressed to `width` bits, updated
+//! incrementally as bits enter and leave the history window.
+//!
+//! [`FoldedHistory`] maintains the invariant
+//!
+//! ```text
+//! value == XOR over i in [0, length) of bit_i << (i % width)
+//! ```
+//!
+//! where `bit_0` is the most recent branch outcome — exactly the value
+//! returned by [`HistoryRegister::folded`](crate::HistoryRegister::folded),
+//! which the property tests use as the reference model.
+
+use crate::bits;
+
+/// An incrementally-updated `width`-bit fold of the last `length` history
+/// bits.
+///
+/// # Examples
+///
+/// ```
+/// use cobra_sim::{FoldedHistory, HistoryRegister};
+///
+/// let mut ghist = HistoryRegister::new(32);
+/// let mut fold = FoldedHistory::new(12, 5);
+/// for &t in &[true, false, true, true, false, true] {
+///     let outgoing = ghist.bit(11);
+///     fold.update(t, outgoing);
+///     ghist.push(t);
+///     assert_eq!(fold.value(), ghist.folded(12, 5));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FoldedHistory {
+    value: u64,
+    length: u32,
+    width: u32,
+}
+
+impl FoldedHistory {
+    /// Creates a fold of the last `length` history bits compressed to
+    /// `width` bits, initialized for an all-zeros history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    pub fn new(length: u32, width: u32) -> Self {
+        assert!(width > 0 && width <= 64, "fold width must be 1..=64");
+        Self {
+            value: 0,
+            length,
+            width,
+        }
+    }
+
+    /// The current folded value (always fits in `width` bits).
+    pub fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// The history window length being folded.
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// The compressed width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Advances the fold by one branch outcome.
+    ///
+    /// `incoming` is the newly-resolved (or newly-speculated) direction;
+    /// `outgoing` is the history bit at index `length − 1` *before* this
+    /// update — the bit about to leave the fold window. The caller reads it
+    /// from its history register before shifting.
+    pub fn update(&mut self, incoming: bool, outgoing: bool) {
+        if self.length == 0 {
+            return;
+        }
+        let w = self.width;
+        // Every existing bit's recency index grows by one, which rotates its
+        // contribution position left by one (mod width).
+        if w < 64 {
+            self.value = ((self.value << 1) | (self.value >> (w - 1))) & bits::mask(w);
+        } else {
+            self.value = self.value.rotate_left(1);
+        }
+        // Insert the incoming bit at position 0.
+        self.value ^= incoming as u64;
+        // Remove the outgoing bit: it was at index length-1, and after the
+        // rotation its contribution sits at position length % width.
+        self.value ^= (outgoing as u64) << (self.length % w);
+        self.value &= bits::mask(w.min(64));
+    }
+
+    /// Recomputes the fold from scratch for the given recent-first bits.
+    /// Used for misprediction repair when the owning provider restores a
+    /// history snapshot.
+    pub fn rebuild(&mut self, bit_at: impl Fn(u32) -> bool) {
+        let mut acc = 0u64;
+        for i in 0..self.length {
+            acc ^= (bit_at(i) as u64) << (i % self.width);
+        }
+        self.value = acc & bits::mask(self.width.min(64));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HistoryRegister;
+
+    fn check_against_reference(length: u32, width: u32, pattern: impl Fn(u32) -> bool) {
+        let mut ghist = HistoryRegister::new(length + 8);
+        let mut fold = FoldedHistory::new(length, width);
+        for step in 0..200 {
+            let t = pattern(step);
+            let outgoing = ghist.bit(length - 1);
+            fold.update(t, outgoing);
+            ghist.push(t);
+            assert_eq!(
+                fold.value(),
+                ghist.folded(length, width),
+                "divergence at step {step} (len {length}, width {width})"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_reference_alternating() {
+        check_against_reference(13, 5, |i| i % 2 == 0);
+    }
+
+    #[test]
+    fn matches_reference_period3() {
+        check_against_reference(27, 8, |i| i % 3 == 0);
+    }
+
+    #[test]
+    fn matches_reference_length_multiple_of_width() {
+        check_against_reference(20, 5, |i| (i * 7) % 11 < 4);
+    }
+
+    #[test]
+    fn matches_reference_width_larger_than_length() {
+        check_against_reference(4, 9, |i| i % 5 != 0);
+    }
+
+    #[test]
+    fn matches_reference_long_history() {
+        check_against_reference(64, 11, |i| (i * 3) % 7 == 1);
+    }
+
+    #[test]
+    fn zero_length_fold_stays_zero() {
+        let mut f = FoldedHistory::new(0, 8);
+        f.update(true, false);
+        assert_eq!(f.value(), 0);
+    }
+
+    #[test]
+    fn rebuild_matches_incremental() {
+        let mut ghist = HistoryRegister::new(40);
+        let mut fold = FoldedHistory::new(33, 7);
+        for i in 0..50u32 {
+            let t = (i * 5) % 9 < 4;
+            let out = ghist.bit(32);
+            fold.update(t, out);
+            ghist.push(t);
+        }
+        let mut rebuilt = FoldedHistory::new(33, 7);
+        rebuilt.rebuild(|i| ghist.bit(i));
+        assert_eq!(rebuilt.value(), fold.value());
+    }
+}

@@ -1,0 +1,405 @@
+//! Behavioural SRAM model with port-usage accounting.
+//!
+//! The paper (Section III-D) stresses that predictor sub-components ought to
+//! map onto area-efficient single- or dual-ported SRAM macros, and that the
+//! metadata field exists largely so a component can avoid a second read port
+//! at update time. This model gives that claim teeth in simulation: each
+//! structure declares its port discipline, every access in a cycle is logged,
+//! and exceeding the port budget is reported as a [`PortViolation`] — the
+//! simulation-time analogue of a macro that will not map in synthesis.
+
+use std::fmt;
+
+/// The port discipline of an SRAM macro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PortKind {
+    /// One port shared by reads and writes (1RW): one access per cycle total.
+    SinglePort,
+    /// One read port and one write port (1R1W).
+    DualPort,
+    /// Two read ports and one write port (2R1W) — expensive; flagged by the
+    /// area model.
+    TwoReadOneWrite,
+}
+
+impl PortKind {
+    /// Maximum reads the macro supports per cycle.
+    pub fn read_budget(self) -> u32 {
+        match self {
+            PortKind::SinglePort => 1,
+            PortKind::DualPort => 1,
+            PortKind::TwoReadOneWrite => 2,
+        }
+    }
+
+    /// Maximum writes the macro supports per cycle.
+    pub fn write_budget(self) -> u32 {
+        1
+    }
+
+    /// Whether a read and a write may occur in the same cycle.
+    pub fn concurrent_read_write(self) -> bool {
+        !matches!(self, PortKind::SinglePort)
+    }
+}
+
+/// Static description of an SRAM macro: geometry and port discipline.
+///
+/// Components report these through their storage report; the area model
+/// costs them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SramSpec {
+    /// Number of addressable entries.
+    pub entries: u64,
+    /// Bits per entry.
+    pub entry_bits: u64,
+    /// Port discipline (per bank).
+    pub ports: PortKind,
+    /// Independent banks: superscalar structures are banked by prediction
+    /// slot so each bank serves one slot's access per cycle.
+    pub banks: u64,
+}
+
+impl SramSpec {
+    /// Total data bits stored by the macro.
+    pub fn total_bits(&self) -> u64 {
+        self.entries * self.entry_bits
+    }
+
+    /// Total storage in kilobytes (for Table I style reporting).
+    pub fn kilobytes(&self) -> f64 {
+        self.total_bits() as f64 / 8192.0
+    }
+}
+
+/// A port-budget violation observed during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortViolation {
+    /// Cycle at which the violation occurred.
+    pub cycle: u64,
+    /// Bank on which the budget was exceeded.
+    pub bank: u64,
+    /// Reads attempted on that bank that cycle.
+    pub reads: u32,
+    /// Writes attempted on that bank that cycle.
+    pub writes: u32,
+}
+
+impl fmt::Display for PortViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "port violation at cycle {} bank {}: {} reads / {} writes exceed budget",
+            self.cycle, self.bank, self.reads, self.writes
+        )
+    }
+}
+
+/// A behavioural SRAM: a vector of `T` entries plus per-cycle port
+/// accounting.
+///
+/// Reads return the value as of the start of the cycle is *not* modelled
+/// bit-exactly — the composer's compute-at-query discipline already
+/// guarantees read-before-write ordering within a cycle — but port usage is
+/// tracked faithfully.
+///
+/// # Examples
+///
+/// ```
+/// use cobra_sim::{PortKind, SramModel};
+///
+/// let mut bht = SramModel::new(16, 2, PortKind::DualPort, 0u8);
+/// bht.begin_cycle(0);
+/// let v = *bht.read(3);
+/// bht.write(3, v + 1);
+/// assert!(bht.violations().is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramModel<T> {
+    spec: SramSpec,
+    data: Vec<T>,
+    cycle: u64,
+    reads_this_cycle: Vec<u32>,
+    writes_this_cycle: Vec<u32>,
+    total_reads: u64,
+    total_writes: u64,
+    violations: Vec<PortViolation>,
+}
+
+impl<T: Clone> SramModel<T> {
+    /// Creates an SRAM of `entries` entries of `entry_bits` bits each,
+    /// initialized to `init`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: u64, entry_bits: u64, ports: PortKind, init: T) -> Self {
+        Self::new_banked(entries, entry_bits, ports, 1, init)
+    }
+
+    /// Creates a banked SRAM: `banks` independent macros, each with its own
+    /// port budget. Superscalar predictor structures bank by prediction
+    /// slot so a fetch packet's parallel accesses are conflict-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `banks` is zero, or `banks` does not divide
+    /// `entries`.
+    pub fn new_banked(entries: u64, entry_bits: u64, ports: PortKind, banks: u64, init: T) -> Self {
+        assert!(entries > 0, "SRAM must have at least one entry");
+        assert!(
+            banks > 0 && entries.is_multiple_of(banks),
+            "banks must divide entries"
+        );
+        Self {
+            spec: SramSpec {
+                entries,
+                entry_bits,
+                ports,
+                banks,
+            },
+            data: vec![init; entries as usize],
+            cycle: 0,
+            reads_this_cycle: vec![0; banks as usize],
+            writes_this_cycle: vec![0; banks as usize],
+            total_reads: 0,
+            total_writes: 0,
+            violations: Vec::new(),
+        }
+    }
+
+    /// Rows per bank.
+    pub fn rows_per_bank(&self) -> u64 {
+        self.spec.entries / self.spec.banks
+    }
+
+    /// Translates a (bank, row) pair into a flat entry index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bank is out of range (`row` wraps within the bank).
+    pub fn entry_of(&self, bank: u64, row: u64) -> u64 {
+        assert!(bank < self.spec.banks, "bank out of range");
+        bank * self.rows_per_bank() + row % self.rows_per_bank()
+    }
+
+    /// The macro's static description.
+    pub fn spec(&self) -> SramSpec {
+        self.spec
+    }
+
+    /// Starts a new accounting cycle. Accesses before the first call are
+    /// attributed to cycle 0.
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        self.reads_this_cycle.fill(0);
+        self.writes_this_cycle.fill(0);
+    }
+
+    fn bank_of(&self, index: u64) -> usize {
+        (index / self.rows_per_bank()) as usize
+    }
+
+    fn check_budget(&mut self, bank: usize) {
+        let p = self.spec.ports;
+        let reads = self.reads_this_cycle[bank];
+        let writes = self.writes_this_cycle[bank];
+        let over_read = reads > p.read_budget();
+        let over_write = writes > p.write_budget();
+        let rw_conflict = !p.concurrent_read_write() && reads + writes > 1;
+        if over_read || over_write || rw_conflict {
+            // Record at most one violation per (cycle, bank).
+            let key_matches = |v: &PortViolation| v.cycle == self.cycle && v.bank == bank as u64;
+            if self.violations.last().is_none_or(|v| !key_matches(v)) {
+                self.violations.push(PortViolation {
+                    cycle: self.cycle,
+                    bank: bank as u64,
+                    reads,
+                    writes,
+                });
+            } else if let Some(v) = self.violations.last_mut() {
+                v.reads = reads;
+                v.writes = writes;
+            }
+        }
+    }
+
+    /// Reads entry `index`, consuming one read port on its bank this cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn read(&mut self, index: u64) -> &T {
+        let bank = self.bank_of(index);
+        self.reads_this_cycle[bank] += 1;
+        self.total_reads += 1;
+        self.check_budget(bank);
+        &self.data[index as usize]
+    }
+
+    /// Writes entry `index`, consuming one write port on its bank this
+    /// cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn write(&mut self, index: u64, value: T) {
+        let bank = self.bank_of(index);
+        self.writes_this_cycle[bank] += 1;
+        self.total_writes += 1;
+        self.check_budget(bank);
+        self.data[index as usize] = value;
+    }
+
+    /// Reads without consuming a port — for repair paths that in hardware
+    /// recover state from metadata rather than from the array, and for
+    /// test/debug inspection.
+    pub fn peek(&self, index: u64) -> &T {
+        &self.data[index as usize]
+    }
+
+    /// Writes without consuming a port — for initialization and for repair
+    /// paths that in hardware restore state held in pipeline registers.
+    pub fn poke(&mut self, index: u64, value: T) {
+        self.data[index as usize] = value;
+    }
+
+    /// Port violations observed so far.
+    pub fn violations(&self) -> &[PortViolation] {
+        &self.violations
+    }
+
+    /// Lifetime (reads, writes) — used for energy-style reporting.
+    pub fn access_counts(&self) -> (u64, u64) {
+        (self.total_reads, self.total_writes)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> u64 {
+        self.spec.entries
+    }
+
+    /// Always false: the constructor rejects empty SRAMs.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dual_port_allows_one_read_one_write() {
+        let mut s = SramModel::new(8, 4, PortKind::DualPort, 0u32);
+        s.begin_cycle(1);
+        let _ = *s.read(0);
+        s.write(1, 5);
+        assert!(s.violations().is_empty());
+    }
+
+    #[test]
+    fn dual_port_flags_second_read() {
+        let mut s = SramModel::new(8, 4, PortKind::DualPort, 0u32);
+        s.begin_cycle(1);
+        let _ = *s.read(0);
+        let _ = *s.read(1);
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].reads, 2);
+    }
+
+    #[test]
+    fn single_port_flags_read_plus_write() {
+        let mut s = SramModel::new(8, 4, PortKind::SinglePort, 0u32);
+        s.begin_cycle(3);
+        let _ = *s.read(0);
+        s.write(0, 1);
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].cycle, 3);
+    }
+
+    #[test]
+    fn two_read_one_write_budget() {
+        let mut s = SramModel::new(8, 4, PortKind::TwoReadOneWrite, 0u32);
+        s.begin_cycle(0);
+        let _ = *s.read(0);
+        let _ = *s.read(1);
+        s.write(2, 9);
+        assert!(s.violations().is_empty());
+    }
+
+    #[test]
+    fn budget_resets_each_cycle() {
+        let mut s = SramModel::new(8, 4, PortKind::DualPort, 0u32);
+        for c in 0..10 {
+            s.begin_cycle(c);
+            let _ = *s.read(0);
+            s.write(0, c as u32);
+        }
+        assert!(s.violations().is_empty());
+        assert_eq!(s.access_counts(), (10, 10));
+    }
+
+    #[test]
+    fn one_violation_record_per_cycle() {
+        let mut s = SramModel::new(8, 4, PortKind::DualPort, 0u32);
+        s.begin_cycle(7);
+        for _ in 0..5 {
+            let _ = *s.read(0);
+        }
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].reads, 5);
+    }
+
+    #[test]
+    fn peek_and_poke_do_not_consume_ports() {
+        let mut s = SramModel::new(8, 4, PortKind::SinglePort, 0u32);
+        s.begin_cycle(0);
+        s.poke(3, 42);
+        assert_eq!(*s.peek(3), 42);
+        assert!(s.violations().is_empty());
+        assert_eq!(s.access_counts(), (0, 0));
+    }
+
+    #[test]
+    fn banked_reads_are_conflict_free_across_banks() {
+        let mut s = SramModel::new_banked(64, 4, PortKind::DualPort, 8, 0u32);
+        s.begin_cycle(1);
+        for bank in 0..8 {
+            let _ = *s.read(s.entry_of(bank, 3));
+        }
+        assert!(s.violations().is_empty(), "one read per bank is within budget");
+    }
+
+    #[test]
+    fn banked_reads_conflict_within_a_bank() {
+        let mut s = SramModel::new_banked(64, 4, PortKind::DualPort, 8, 0u32);
+        s.begin_cycle(1);
+        let _ = *s.read(s.entry_of(2, 0));
+        let _ = *s.read(s.entry_of(2, 5));
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].bank, 2);
+    }
+
+    #[test]
+    fn entry_of_maps_into_bank_region() {
+        let s = SramModel::new_banked(64, 4, PortKind::DualPort, 8, 0u32);
+        assert_eq!(s.rows_per_bank(), 8);
+        assert_eq!(s.entry_of(0, 3), 3);
+        assert_eq!(s.entry_of(3, 2), 26);
+        assert_eq!(s.entry_of(3, 10), 26, "row wraps within the bank");
+    }
+
+    #[test]
+    #[should_panic(expected = "banks must divide entries")]
+    fn banks_must_divide_entries() {
+        let _ = SramModel::new_banked(10, 4, PortKind::DualPort, 4, 0u32);
+    }
+
+    #[test]
+    fn spec_storage_math() {
+        let s = SramModel::new(2048, 40, PortKind::DualPort, 0u8);
+        assert_eq!(s.spec().total_bits(), 81920);
+        assert!((s.spec().kilobytes() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,166 @@
+//! Host-core configuration (the paper's Table II).
+
+use cobra_core::composer::{BpuConfig, GhistRepairMode};
+
+/// Cache geometry and timing for one level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u64,
+    /// Line size in bytes.
+    pub line_bytes: u64,
+    /// Hit latency in cycles.
+    pub hit_latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+}
+
+/// Full core configuration. [`CoreConfig::boom_4wide`] reproduces Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreConfig {
+    /// Fetch-block size in bytes (16-byte wide fetch).
+    pub fetch_bytes: u64,
+    /// Decode/rename width (instructions per cycle into the ROB).
+    pub decode_width: u8,
+    /// Commit width (instructions retired per cycle).
+    pub commit_width: u8,
+    /// Reorder-buffer entries.
+    pub rob_entries: usize,
+    /// Fetch-buffer capacity in instructions.
+    pub fetch_buffer_insts: usize,
+    /// Integer ALU issue ports.
+    pub alu_ports: u8,
+    /// Memory issue ports.
+    pub mem_ports: u8,
+    /// Floating-point issue ports.
+    pub fp_ports: u8,
+    /// Issue-window instructions examined per cycle (IQ size effect).
+    pub issue_window: usize,
+    /// Cycles from issue to branch resolution (execute pipeline depth).
+    pub branch_resolve_latency: u64,
+    /// Return-address-stack entries.
+    pub ras_entries: usize,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// L3 / LLC (FASED model in the paper).
+    pub l3: CacheConfig,
+    /// DRAM access latency in cycles.
+    pub dram_latency: u64,
+    /// Next-line prefetch into L1I.
+    pub nlp_prefetch: bool,
+    /// Predictor management configuration.
+    pub bpu: BpuConfig,
+    /// Serialize fetch behind branch predictions: at most one branch
+    /// prediction is consumed per cycle (the Section I experiment that
+    /// costs 15 % IPC on Dhrystone).
+    pub serialize_branches: bool,
+    /// Stall fetch while the repair state machine walks the history file.
+    pub repair_stalls_fetch: bool,
+}
+
+impl CoreConfig {
+    /// The evaluated BOOM configuration (Table II): 16-byte fetch, 4-wide
+    /// decode/commit, 128-entry ROB, 8 execution pipelines, 32 KB L1s,
+    /// 512 KB L2, 4 MB L3.
+    pub fn boom_4wide() -> Self {
+        Self {
+            fetch_bytes: 16,
+            decode_width: 4,
+            commit_width: 4,
+            rob_entries: 128,
+            fetch_buffer_insts: 32,
+            alu_ports: 4,
+            mem_ports: 2,
+            fp_ports: 2,
+            issue_window: 32,
+            branch_resolve_latency: 6,
+            ras_entries: 16,
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 0,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 3,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                ways: 8,
+                line_bytes: 64,
+                hit_latency: 14,
+            },
+            l3: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                hit_latency: 35,
+            },
+            dram_latency: 110,
+            nlp_prefetch: true,
+            bpu: BpuConfig::default(),
+            serialize_branches: false,
+            repair_stalls_fetch: false,
+        }
+    }
+
+    /// Fetch-packet width in 2-byte prediction slots.
+    pub fn fetch_slots(&self) -> u8 {
+        (self.fetch_bytes / cobra_core::SLOT_BYTES) as u8
+    }
+
+    /// Sets the global-history repair mode (Section VI-B sweep).
+    pub fn with_repair_mode(mut self, mode: GhistRepairMode) -> Self {
+        self.bpu.repair_mode = mode;
+        self
+    }
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        Self::boom_4wide()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_parameters() {
+        let c = CoreConfig::boom_4wide();
+        assert_eq!(c.fetch_bytes, 16);
+        assert_eq!(c.fetch_slots(), 8);
+        assert_eq!(c.decode_width, 4);
+        assert_eq!(c.rob_entries, 128);
+        assert_eq!(c.alu_ports + c.mem_ports + c.fp_ports, 8);
+        assert_eq!(c.l1i.size_bytes, 32 * 1024);
+        assert_eq!(c.l2.size_bytes, 512 * 1024);
+    }
+
+    #[test]
+    fn cache_sets_math() {
+        let c = CoreConfig::boom_4wide().l1d;
+        assert_eq!(c.sets(), 32 * 1024 / (8 * 64));
+    }
+
+    #[test]
+    fn repair_mode_builder() {
+        let c = CoreConfig::boom_4wide().with_repair_mode(GhistRepairMode::SnapshotOnly);
+        assert_eq!(c.bpu.repair_mode, GhistRepairMode::SnapshotOnly);
+    }
+}

@@ -1,0 +1,47 @@
+//! # cobra-uarch
+//!
+//! A BOOM-like superscalar out-of-order host-core model for evaluating
+//! COBRA-composed branch predictors end-to-end (the role FireSim-simulated
+//! BOOM plays in the paper).
+//!
+//! * [`CoreConfig`] reproduces the paper's Table II machine configuration.
+//! * [`Core`] is the simulated machine: a cycle-level frontend (fetch
+//!   pipeline with override redirects, predecode, RAS, fetch buffer)
+//!   around a [`BranchPredictorUnit`](cobra_core::composer::BranchPredictorUnit),
+//!   and a scoreboard out-of-order backend (ROB, issue ports, caches,
+//!   in-order commit).
+//! * [`InstructionStream`] is the workload interface: the architectural
+//!   instruction sequence plus static decode for wrong-path fetch.
+//! * [`PerfReport`] / [`PerfCounters`] are the measured outputs (IPC, MPKI,
+//!   accuracy, bubble breakdowns).
+//!
+//! ```
+//! use cobra_core::designs;
+//! use cobra_uarch::{Core, CoreConfig, DynInst, IterStream};
+//!
+//! let insts = (0..2000u64).map(|i| DynInst::int(0x1000 + i * 2));
+//! let stream = IterStream::new(0x1000, insts);
+//! let mut core = Core::new(&designs::b2(), CoreConfig::boom_4wide(), stream)?;
+//! let report = core.run(1000, "straightline");
+//! assert!(report.counters.committed_insts >= 1000);
+//! # Ok::<(), cobra_core::ComposeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+mod config;
+mod core;
+mod perf;
+mod program;
+mod ras;
+mod tracesim;
+
+pub use crate::core::Core;
+pub use cache::{Cache, MemoryHierarchy};
+pub use config::{CacheConfig, CoreConfig};
+pub use perf::{harmonic_mean, PerfCounters, PerfReport};
+pub use program::{CfiOutcome, DynInst, InstructionStream, IterStream, Op, StaticInst};
+pub use ras::{RasSnapshot, ReturnAddressStack};
+pub use tracesim::{TraceSim, TraceStats};

@@ -1,0 +1,160 @@
+//! Performance counters and the end-of-run report.
+
+/// The out-of-band profiling counters the simulated core maintains
+/// (standing in for FireSim's profiling tools and `perf`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounters {
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Architecturally committed instructions.
+    pub committed_insts: u64,
+    /// Committed conditional branches.
+    pub cond_branches: u64,
+    /// Committed control-flow instructions of any kind.
+    pub cfis: u64,
+    /// Conditional-branch direction mispredictions.
+    pub cond_mispredicts: u64,
+    /// Target mispredictions (BTB/RAS/indirect).
+    pub target_mispredicts: u64,
+    /// Frontend override redirects (a later stage changed the prediction).
+    pub override_redirects: u64,
+    /// Fetch replays forced by global-history repair (Section VI-B).
+    pub history_replays: u64,
+    /// Cycles fetch produced nothing (bubbles of any cause).
+    pub fetch_bubbles: u64,
+    /// Cycles fetch stalled on the instruction cache.
+    pub icache_stall_cycles: u64,
+    /// Cycles dispatch stalled on a full ROB.
+    pub rob_stall_cycles: u64,
+}
+
+impl PerfCounters {
+    /// All branch mispredictions (direction + target).
+    pub fn branch_misses(&self) -> u64 {
+        self.cond_mispredicts + self.target_mispredicts
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed_insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Branch misses per kilo-instruction — the Fig 10 metric.
+    pub fn mpki(&self) -> f64 {
+        if self.committed_insts == 0 {
+            0.0
+        } else {
+            self.branch_misses() as f64 * 1000.0 / self.committed_insts as f64
+        }
+    }
+
+    /// Conditional-branch prediction accuracy in percent.
+    pub fn branch_accuracy(&self) -> f64 {
+        if self.cond_branches == 0 {
+            100.0
+        } else {
+            100.0 * (1.0 - self.cond_mispredicts as f64 / self.cond_branches as f64)
+        }
+    }
+}
+
+impl PerfCounters {
+    /// Field-wise difference `self − earlier`, for warm-up exclusion.
+    pub fn delta(&self, earlier: &PerfCounters) -> PerfCounters {
+        PerfCounters {
+            cycles: self.cycles - earlier.cycles,
+            committed_insts: self.committed_insts - earlier.committed_insts,
+            cond_branches: self.cond_branches - earlier.cond_branches,
+            cfis: self.cfis - earlier.cfis,
+            cond_mispredicts: self.cond_mispredicts - earlier.cond_mispredicts,
+            target_mispredicts: self.target_mispredicts - earlier.target_mispredicts,
+            override_redirects: self.override_redirects - earlier.override_redirects,
+            history_replays: self.history_replays - earlier.history_replays,
+            fetch_bubbles: self.fetch_bubbles - earlier.fetch_bubbles,
+            icache_stall_cycles: self.icache_stall_cycles - earlier.icache_stall_cycles,
+            rob_stall_cycles: self.rob_stall_cycles - earlier.rob_stall_cycles,
+        }
+    }
+}
+
+/// The result of simulating a workload to completion.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerfReport {
+    /// Workload name.
+    pub workload: String,
+    /// Predictor design name.
+    pub design: String,
+    /// Raw counters.
+    pub counters: PerfCounters,
+}
+
+impl std::fmt::Display for PerfReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let c = &self.counters;
+        write!(
+            f,
+            "{:<12} {:<12} IPC {:>5.3}  MPKI {:>6.2}  acc {:>6.2}%  ({} insts, {} cycles)",
+            self.workload,
+            self.design,
+            c.ipc(),
+            c.mpki(),
+            c.branch_accuracy(),
+            c.committed_insts,
+            c.cycles
+        )
+    }
+}
+
+/// Harmonic mean, as used for the HARMEAN column in Fig 10.
+///
+/// # Examples
+///
+/// ```
+/// let h = cobra_uarch::harmonic_mean(&[1.0, 2.0]);
+/// assert!((h - 4.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn harmonic_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() || xs.iter().any(|&x| x <= 0.0) {
+        return 0.0;
+    }
+    xs.len() as f64 / xs.iter().map(|x| 1.0 / x).sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let c = PerfCounters {
+            cycles: 1000,
+            committed_insts: 2000,
+            cond_branches: 200,
+            cond_mispredicts: 10,
+            target_mispredicts: 2,
+            ..Default::default()
+        };
+        assert!((c.ipc() - 2.0).abs() < 1e-12);
+        assert!((c.mpki() - 6.0).abs() < 1e-12);
+        assert!((c.branch_accuracy() - 95.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_division_guards() {
+        let c = PerfCounters::default();
+        assert_eq!(c.ipc(), 0.0);
+        assert_eq!(c.mpki(), 0.0);
+        assert_eq!(c.branch_accuracy(), 100.0);
+    }
+
+    #[test]
+    fn harmonic_mean_basics() {
+        assert_eq!(harmonic_mean(&[]), 0.0);
+        assert!((harmonic_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
+        assert!(harmonic_mean(&[1.0, 100.0]) < 2.0, "dominated by the slow one");
+    }
+}

@@ -1,0 +1,171 @@
+//! The interface between a workload and the simulated core.
+//!
+//! The core is execution-driven along the architecturally-correct path: an
+//! [`InstructionStream`] yields the dynamic instruction sequence the
+//! program actually executes. Wrong-path fetch (after a misprediction the
+//! frontend runs ahead down the predicted path) sees only *static*
+//! instruction information via [`InstructionStream::inst_at`]; wrong-path
+//! instructions occupy frontend and predictor resources and are squashed
+//! when the mispredicted branch resolves, exercising the repair machinery
+//! exactly as real speculation does.
+
+use cobra_core::BranchKind;
+
+/// An instruction's execution class, determining issue port and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Simple integer ALU operation.
+    Int,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide (long latency, unpipelined).
+    Div,
+    /// Memory load from `addr`.
+    Load {
+        /// Effective address.
+        addr: u64,
+    },
+    /// Memory store to `addr`.
+    Store {
+        /// Effective address.
+        addr: u64,
+    },
+    /// Floating-point operation.
+    Fp,
+    /// A control-flow instruction (outcome carried separately).
+    Cfi,
+}
+
+/// The resolved outcome of a control-flow instruction on the correct path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfiOutcome {
+    /// Control-flow kind.
+    pub kind: BranchKind,
+    /// Whether it redirects (always `true` for unconditional kinds).
+    pub taken: bool,
+    /// The target when taken.
+    pub target: u64,
+    /// `true` for a short-forwards "hammock" branch eligible for the
+    /// Section VI-C predication optimization.
+    pub sfb: bool,
+}
+
+/// One architecturally-executed instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Instruction address (2-byte parcels).
+    pub pc: u64,
+    /// Execution class.
+    pub op: Op,
+    /// Branch outcome, for `Op::Cfi`.
+    pub cfi: Option<CfiOutcome>,
+    /// Data dependency: this instruction consumes the result of the
+    /// instruction `dep` positions earlier in program order (0 = none).
+    pub dep: u8,
+}
+
+impl DynInst {
+    /// A simple integer instruction at `pc` with no dependency.
+    pub fn int(pc: u64) -> Self {
+        Self {
+            pc,
+            op: Op::Int,
+            cfi: None,
+            dep: 0,
+        }
+    }
+}
+
+/// Static decode information for an arbitrary address (wrong-path fetch).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StaticInst {
+    /// Execution class (addresses for memory ops may be placeholders).
+    pub op: Op,
+    /// CFI kind, if the instruction is a branch or jump.
+    pub cfi_kind: Option<BranchKind>,
+    /// Statically-known target (direct branches and jumps encode it).
+    pub target: Option<u64>,
+}
+
+impl StaticInst {
+    /// A non-CFI filler instruction.
+    pub fn filler() -> Self {
+        Self {
+            op: Op::Int,
+            cfi_kind: None,
+            target: None,
+        }
+    }
+}
+
+/// A workload, as consumed by the core.
+pub trait InstructionStream {
+    /// The program entry point.
+    fn entry_pc(&self) -> u64;
+
+    /// The next architecturally-executed instruction, or `None` when the
+    /// program ends.
+    fn next_inst(&mut self) -> Option<DynInst>;
+
+    /// Static decode information at an arbitrary address, used for
+    /// predecode of wrong-path fetches. Must be deterministic per address.
+    fn inst_at(&self, pc: u64) -> StaticInst;
+}
+
+/// An adapter turning any iterator of [`DynInst`] into an
+/// [`InstructionStream`] with filler wrong-path decode.
+///
+/// # Examples
+///
+/// ```
+/// use cobra_uarch::{DynInst, InstructionStream, IterStream};
+///
+/// let insts = (0..4).map(|i| DynInst::int(0x1000 + i * 2));
+/// let mut s = IterStream::new(0x1000, insts);
+/// assert_eq!(s.next_inst().unwrap().pc, 0x1000);
+/// ```
+pub struct IterStream<I> {
+    entry: u64,
+    iter: I,
+}
+
+impl<I: Iterator<Item = DynInst>> IterStream<I> {
+    /// Wraps `iter` as a stream entering at `entry`.
+    pub fn new(entry: u64, iter: I) -> Self {
+        Self { entry, iter }
+    }
+}
+
+impl<I: Iterator<Item = DynInst>> InstructionStream for IterStream<I> {
+    fn entry_pc(&self) -> u64 {
+        self.entry
+    }
+
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.iter.next()
+    }
+
+    fn inst_at(&self, _pc: u64) -> StaticInst {
+        StaticInst::filler()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iter_stream_yields_in_order() {
+        let mut s = IterStream::new(0, (0..3).map(|i| DynInst::int(i * 2)));
+        assert_eq!(s.next_inst().unwrap().pc, 0);
+        assert_eq!(s.next_inst().unwrap().pc, 2);
+        assert_eq!(s.next_inst().unwrap().pc, 4);
+        assert!(s.next_inst().is_none());
+    }
+
+    #[test]
+    fn filler_is_not_a_cfi() {
+        let s = IterStream::new(0, std::iter::empty());
+        assert!(s.inst_at(0x1234).cfi_kind.is_none());
+    }
+}

@@ -1,0 +1,106 @@
+//! The return-address stack — "the only prediction sub-component from the
+//! original BOOM core which was preserved" (paper Section IV-C).
+
+/// A circular return-address stack with snapshot repair.
+///
+/// Calls push the return address; returns pop a predicted target. Since
+/// pushes and pops happen speculatively at predecode, the frontend
+/// snapshots `(top, value)` per packet and restores on squash — the
+/// classic RAS-repair scheme.
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    entries: Vec<u64>,
+    top: usize,
+}
+
+/// A saved RAS position for squash repair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RasSnapshot {
+    top: usize,
+    value: u64,
+}
+
+impl ReturnAddressStack {
+    /// Creates a stack of `entries` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "RAS needs at least one entry");
+        Self {
+            entries: vec![0; entries],
+            top: 0,
+        }
+    }
+
+    /// Pushes a return address (call).
+    pub fn push(&mut self, ret_addr: u64) {
+        self.top = (self.top + 1) % self.entries.len();
+        self.entries[self.top] = ret_addr;
+    }
+
+    /// Pops the predicted return target (return).
+    pub fn pop(&mut self) -> u64 {
+        let v = self.entries[self.top];
+        self.top = (self.top + self.entries.len() - 1) % self.entries.len();
+        v
+    }
+
+    /// Peeks the top without popping.
+    pub fn peek(&self) -> u64 {
+        self.entries[self.top]
+    }
+
+    /// Saves the current position and top value.
+    pub fn snapshot(&self) -> RasSnapshot {
+        RasSnapshot {
+            top: self.top,
+            value: self.entries[self.top],
+        }
+    }
+
+    /// Restores a snapshot taken before a squashed speculation.
+    pub fn restore(&mut self, snap: RasSnapshot) {
+        self.top = snap.top;
+        self.entries[self.top] = snap.value;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_behaviour() {
+        let mut r = ReturnAddressStack::new(8);
+        r.push(0x100);
+        r.push(0x200);
+        assert_eq!(r.pop(), 0x200);
+        assert_eq!(r.pop(), 0x100);
+    }
+
+    #[test]
+    fn overflow_wraps() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites the oldest
+        assert_eq!(r.pop(), 3);
+        assert_eq!(r.pop(), 2);
+    }
+
+    #[test]
+    fn snapshot_restores_after_wrong_path() {
+        let mut r = ReturnAddressStack::new(8);
+        r.push(0xaaa);
+        let snap = r.snapshot();
+        // Wrong path: spurious call/ret traffic.
+        r.push(0xbad);
+        r.pop();
+        r.pop();
+        r.restore(snap);
+        assert_eq!(r.peek(), 0xaaa);
+        assert_eq!(r.pop(), 0xaaa);
+    }
+}

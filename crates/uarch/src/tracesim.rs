@@ -1,0 +1,288 @@
+//! A trace-driven predictor evaluator — the software-simulation
+//! methodology the paper argues against (Section II-B).
+//!
+//! [`TraceSim`] drives a composed predictor with the architectural branch
+//! trace under idealized conditions: no speculation, no wrong-path
+//! pollution, in-order immediate updates, and a perfectly repaired global
+//! history. Trace-based simulators like ChampSim and CBPSim evaluate
+//! predictors exactly this way, and the paper's motivation is that such
+//! models "cannot model microarchitectural behaviors like speculation and
+//! superscalar execution" and "demonstrate substantial modelling error".
+//!
+//! Running the *same design* on the *same workload* through [`TraceSim`]
+//! and through [`Core`](crate::Core) quantifies that modelling error for
+//! this framework's designs (the `trace_vs_hardware` harness binary).
+
+use crate::program::InstructionStream;
+use cobra_core::composer::{BpuConfig, BranchPredictorUnit, Design};
+use cobra_core::{BranchKind, ComposeError, SlotResolution};
+
+/// Accuracy results from a trace-driven run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Conditional branches evaluated.
+    pub cond_branches: u64,
+    /// Conditional-branch direction mispredictions.
+    pub cond_mispredicts: u64,
+    /// Control-flow instructions whose predicted target was wrong or
+    /// missing (taken CFIs only).
+    pub target_misses: u64,
+    /// All control-flow instructions evaluated.
+    pub cfis: u64,
+}
+
+impl TraceStats {
+    /// Conditional-branch accuracy in percent.
+    pub fn accuracy(&self) -> f64 {
+        if self.cond_branches == 0 {
+            100.0
+        } else {
+            100.0 * (1.0 - self.cond_mispredicts as f64 / self.cond_branches as f64)
+        }
+    }
+
+    /// Branch misses (direction + target) per kilo-*branch* — trace
+    /// simulators have no instruction counts, so the denominator differs
+    /// from the hardware MPKI by the workload's branch density.
+    pub fn misses_per_kilo_cfi(&self) -> f64 {
+        if self.cfis == 0 {
+            0.0
+        } else {
+            (self.cond_mispredicts + self.target_misses) as f64 * 1000.0 / self.cfis as f64
+        }
+    }
+}
+
+/// A trace-driven evaluation of a composed predictor design.
+#[derive(Debug)]
+pub struct TraceSim {
+    bpu: BranchPredictorUnit,
+    stats: TraceStats,
+}
+
+impl TraceSim {
+    /// Composes `design` for trace-driven use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates composition errors.
+    pub fn new(design: &Design) -> Result<Self, ComposeError> {
+        Ok(Self {
+            bpu: BranchPredictorUnit::build(design, BpuConfig::default())?,
+            stats: TraceStats::default(),
+        })
+    }
+
+    /// Accumulated results.
+    pub fn stats(&self) -> &TraceStats {
+        &self.stats
+    }
+
+    /// Runs the next `max_insts` instructions of `stream` through the
+    /// predictor under trace-driven idealizations, returning the stats.
+    ///
+    /// Each fetch packet is queried, its *final-stage* prediction compared
+    /// against the trace's ground truth, and the packet immediately
+    /// resolved and committed — no packet is ever in flight speculatively,
+    /// so histories are always perfect.
+    pub fn run(&mut self, stream: &mut dyn InstructionStream, max_insts: u64) -> TraceStats {
+        let mut executed = 0u64;
+        let mut pending: Option<crate::program::DynInst> = None;
+        'outer: while executed < max_insts {
+            // Start a packet at the next architectural PC.
+            let first = match pending.take().or_else(|| stream.next_inst()) {
+                Some(i) => i,
+                None => break,
+            };
+            let pc = first.pc;
+            let width = 8u64.min(8 - ((pc / 2) % 8)).max(1) as u8;
+            let Some(id) = self.bpu.query_packet(pc, width) else {
+                // Trace mode never leaves packets in flight; this cannot
+                // happen unless commit below failed.
+                break;
+            };
+            self.bpu.tick();
+            self.bpu.speculate(id, 1);
+            let depth = self.bpu.depth();
+            let mut pred = *self.bpu.prediction(id, depth).expect("in flight");
+
+            // Walk the trace through the packet's slots.
+            let mut inst = first;
+            let mut resolutions: Vec<SlotResolution> = Vec::new();
+            let mut mispredicted_slot = None;
+            // Walked high-water mark; the loop always runs at least once.
+            let mut last_slot;
+            loop {
+                let slot = ((inst.pc - pc) / 2) as u8;
+                last_slot = slot;
+                executed += 1;
+                if inst.cfi.is_none() {
+                    // Predecode clears non-CFI slots.
+                    *pred.slot_mut(slot as usize) = Default::default();
+                }
+                if let Some(c) = inst.cfi {
+                    // Predecode knowledge, as the hardware frontend has it.
+                    let sp = pred.slot_mut(slot as usize);
+                    sp.kind = Some(c.kind);
+                    if c.kind != BranchKind::Conditional {
+                        sp.taken = None;
+                    }
+                    let predicted_taken = match c.kind {
+                        BranchKind::Conditional => sp.taken == Some(true),
+                        _ => true,
+                    };
+                    self.stats.cfis += 1;
+                    let mut mispredicted_here = false;
+                    if c.kind == BranchKind::Conditional {
+                        self.stats.cond_branches += 1;
+                        if predicted_taken != c.taken {
+                            self.stats.cond_mispredicts += 1;
+                            mispredicted_here = true;
+                        }
+                    } else if c.taken && sp.target != Some(c.target) {
+                        self.stats.target_misses += 1;
+                    }
+                    resolutions.push(SlotResolution {
+                        slot,
+                        kind: c.kind,
+                        taken: c.taken,
+                        target: c.target,
+                    });
+                    if mispredicted_here && mispredicted_slot.is_none() {
+                        mispredicted_slot = Some(slot);
+                        // A misprediction ends the packet (the hardware
+                        // refetches from here); later instructions start a
+                        // new packet.
+                        break;
+                    }
+                    if c.taken {
+                        break; // the packet ends at a taken CFI
+                    }
+                }
+                // Next instruction: does it continue this packet?
+                let next = match stream.next_inst() {
+                    Some(i) => i,
+                    None => break 'outer,
+                };
+                let contiguous = next.pc == inst.pc + 2
+                    && next.pc < pc + width as u64 * 2;
+                if contiguous {
+                    inst = next;
+                } else {
+                    pending = Some(next);
+                    break;
+                }
+            }
+
+            // Slots past the walk were never architecturally reached:
+            // clear any stale predicted state so the accepted bundle's
+            // history contribution matches ground truth, exactly as the
+            // hardware predecode correction does.
+            for j in (last_slot as usize + 1)..width as usize {
+                *pred.slot_mut(j) = Default::default();
+            }
+
+            // Perfect history: push the ground-truth composition (the
+            // hardware's predecode-revision path, always taken here).
+            self.bpu.revise(id, &pred, false);
+
+            // Idealized in-order update: accept, resolve everything with
+            // ground truth, commit immediately.
+            self.bpu.accept(id, pred);
+            for r in resolutions {
+                let misp = mispredicted_slot == Some(r.slot);
+                self.bpu.resolve(id, r, misp);
+            }
+            let _ = self.bpu.commit_front();
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CfiOutcome, DynInst, IterStream, Op, StaticInst};
+    use cobra_core::designs;
+
+    /// A single loop branch taken 7 of 8 times.
+    struct LoopTrace {
+        i: u64,
+    }
+    impl InstructionStream for LoopTrace {
+        fn entry_pc(&self) -> u64 {
+            0x1000
+        }
+        fn next_inst(&mut self) -> Option<DynInst> {
+            let slot = self.i % 4;
+            let iter = self.i / 4;
+            self.i += 1;
+            let pc = 0x1000 + slot * 2;
+            Some(if slot == 3 {
+                DynInst {
+                    pc,
+                    op: Op::Cfi,
+                    cfi: Some(CfiOutcome {
+                        kind: cobra_core::BranchKind::Conditional,
+                        taken: iter % 8 != 7,
+                        target: 0x1000,
+                        sfb: false,
+                    }),
+                    dep: 0,
+                }
+            } else {
+                DynInst::int(pc)
+            })
+        }
+        fn inst_at(&self, _pc: u64) -> StaticInst {
+            StaticInst::filler()
+        }
+    }
+
+    #[test]
+    fn trace_sim_learns_a_loop() {
+        let mut sim = TraceSim::new(&designs::tage_l()).unwrap();
+        let stats = sim.run(&mut LoopTrace { i: 0 }, 40_000);
+        assert!(stats.cond_branches > 5_000);
+        assert!(
+            stats.accuracy() > 97.0,
+            "trace-driven TAGE-L must learn a period-8 loop: {}",
+            stats.accuracy()
+        );
+    }
+
+    #[test]
+    fn trace_sim_handles_straightline_code() {
+        let mut sim = TraceSim::new(&designs::b2()).unwrap();
+        let mut stream = IterStream::new(0, (0..5000u64).map(|i| DynInst::int(i * 2)));
+        let stats = sim.run(&mut stream, 5000);
+        assert_eq!(stats.cond_branches, 0);
+        assert_eq!(stats.accuracy(), 100.0);
+    }
+
+    #[test]
+    fn misses_per_kilo_cfi_math() {
+        let s = TraceStats {
+            cond_branches: 1000,
+            cond_mispredicts: 30,
+            target_misses: 10,
+            cfis: 2000,
+        };
+        assert!((s.misses_per_kilo_cfi() - 20.0).abs() < 1e-12);
+        assert!((s.accuracy() - 97.0).abs() < 1e-12);
+        assert_eq!(TraceStats::default().misses_per_kilo_cfi(), 0.0);
+    }
+
+    #[test]
+    fn trace_sim_is_deterministic() {
+        let a = {
+            let mut sim = TraceSim::new(&designs::tournament()).unwrap();
+            sim.run(&mut LoopTrace { i: 0 }, 10_000)
+        };
+        let b = {
+            let mut sim = TraceSim::new(&designs::tournament()).unwrap();
+            sim.run(&mut LoopTrace { i: 0 }, 10_000)
+        };
+        assert_eq!(a, b);
+    }
+}

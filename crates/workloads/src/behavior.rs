@@ -1,0 +1,178 @@
+//! Dynamic branch behaviours.
+//!
+//! Each conditional branch in a synthetic program is assigned a behaviour —
+//! a small state machine deciding its outcome on every execution. The
+//! behaviours span the branch classes the prediction literature evaluates
+//! against: loop exits, biased-random data-dependent branches, periodic
+//! patterns, and history-correlated branches.
+
+use cobra_sim::SplitMix64;
+
+/// A branch's dynamic behaviour class.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BranchBehavior {
+    /// A loop back-edge: taken `trip − 1` times, then not-taken once.
+    Loop {
+        /// Loop trip count (total iterations per loop instance).
+        trip: u32,
+    },
+    /// Taken with probability `p` independently each execution
+    /// (data-dependent branches; `p ≈ 0.5` is unpredictable by anything).
+    Biased {
+        /// Probability of taken.
+        p: f64,
+    },
+    /// A fixed repeating direction pattern.
+    Pattern {
+        /// The pattern bits, LSB executed first.
+        bits: u64,
+        /// Pattern length (≤ 64).
+        len: u32,
+    },
+    /// Correlated with recent *global* branch outcomes: outcome equals the
+    /// direction of the `depth`-th most recent conditional branch, xor
+    /// `invert`. History predictors learn these; bimodal tables cannot.
+    Correlated {
+        /// How far back in global history the correlation reaches.
+        depth: u32,
+        /// Invert the correlated bit.
+        invert: bool,
+    },
+    /// Alternates taken / not-taken.
+    Alternating,
+}
+
+/// Per-branch runtime state for a [`BranchBehavior`].
+#[derive(Debug, Clone)]
+pub struct BehaviorState {
+    behavior: BranchBehavior,
+    counter: u64,
+    rng: SplitMix64,
+}
+
+impl BehaviorState {
+    /// Creates runtime state for `behavior`, seeded deterministically.
+    pub fn new(behavior: BranchBehavior, seed: u64) -> Self {
+        Self {
+            behavior,
+            counter: 0,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// The behaviour this state drives.
+    pub fn behavior(&self) -> &BranchBehavior {
+        &self.behavior
+    }
+
+    /// Decides the next outcome. `global_history` supplies recent
+    /// conditional-branch outcomes, most recent in bit 0.
+    pub fn next_outcome(&mut self, global_history: u64) -> bool {
+        let n = self.counter;
+        self.counter += 1;
+        match &self.behavior {
+            BranchBehavior::Loop { trip } => {
+                let t = (*trip).max(1) as u64;
+                (n % t) != t - 1
+            }
+            BranchBehavior::Biased { p } => self.rng.chance(*p),
+            BranchBehavior::Pattern { bits, len } => {
+                let l = (*len).clamp(1, 64) as u64;
+                (bits >> (n % l)) & 1 == 1
+            }
+            BranchBehavior::Correlated { depth, invert } => {
+                let bit = (global_history >> (*depth).min(63)) & 1 == 1;
+                bit ^ invert
+            }
+            BranchBehavior::Alternating => n.is_multiple_of(2),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(b: BranchBehavior, n: usize) -> Vec<bool> {
+        let mut s = BehaviorState::new(b, 42);
+        let mut hist = 0u64;
+        let mut out = Vec::new();
+        for _ in 0..n {
+            let t = s.next_outcome(hist);
+            hist = (hist << 1) | t as u64;
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn loop_exits_every_trip() {
+        let o = run(BranchBehavior::Loop { trip: 4 }, 12);
+        assert_eq!(
+            o,
+            vec![true, true, true, false, true, true, true, false, true, true, true, false]
+        );
+    }
+
+    #[test]
+    fn loop_trip_one_never_taken() {
+        let o = run(BranchBehavior::Loop { trip: 1 }, 4);
+        assert!(o.iter().all(|&t| !t));
+    }
+
+    #[test]
+    fn pattern_repeats() {
+        let o = run(
+            BranchBehavior::Pattern {
+                bits: 0b011,
+                len: 3,
+            },
+            9,
+        );
+        assert_eq!(o, vec![true, true, false, true, true, false, true, true, false]);
+    }
+
+    #[test]
+    fn alternating_alternates() {
+        let o = run(BranchBehavior::Alternating, 4);
+        assert_eq!(o, vec![true, false, true, false]);
+    }
+
+    #[test]
+    fn biased_rate_calibrated() {
+        let o = run(BranchBehavior::Biased { p: 0.8 }, 10_000);
+        let taken = o.iter().filter(|&&t| t).count();
+        assert!((7500..8500).contains(&taken), "taken {taken} of 10000");
+    }
+
+    #[test]
+    fn correlated_follows_history() {
+        // depth 0 = repeat the previous outcome; seeded by history 0.
+        let mut s = BehaviorState::new(
+            BranchBehavior::Correlated {
+                depth: 0,
+                invert: true,
+            },
+            1,
+        );
+        let mut hist = 0u64;
+        let mut prev: Option<bool> = None;
+        for _ in 0..10 {
+            let t = s.next_outcome(hist);
+            if let Some(p) = prev {
+                // invert of previous bit
+                let expected: bool = !p;
+                assert_eq!(t, expected);
+            }
+            hist = (hist << 1) | t as u64;
+            prev = Some(t);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = run(BranchBehavior::Biased { p: 0.5 }, 50);
+        let b = run(BranchBehavior::Biased { p: 0.5 }, 50);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,258 @@
+//! Synthetic kernels: Dhrystone, a CoreMark-like kernel, and predictor
+//! stress microbenchmarks.
+
+use crate::synth::{BranchMix, ProgramSpec, SyntheticProgram};
+
+/// A Dhrystone-like kernel: a small, hot main loop with easy branches and
+/// a couple of short calls — the workload the paper uses for the fetch
+/// serialization (Section I) and history-replay cost (Section VI-B)
+/// observations.
+pub fn dhrystone() -> ProgramSpec {
+    ProgramSpec {
+        name: "dhrystone".into(),
+        seed: 0xd457,
+        functions: 4,
+        blocks_per_fn: 6,
+        body_len: (3, 7),
+        mix: BranchMix {
+            cond: 0.50,
+            loop_back: 0.28,
+            call: 0.16,
+            jump: 0.06,
+            indirect: 0.0,
+        },
+        cond_behaviors: (0.20, 0.50, 0.10, 0.20),
+        bias: 0.97,
+        loop_trips: (4, 16),
+        pattern_len: (2, 6),
+        correlation_depth: (1, 3),
+        mem_fraction: 0.20,
+        fp_fraction: 0.0,
+        working_set: 16 * 1024,
+        pointer_chase: false,
+        dep_fraction: 0.30,
+        sfb_fraction: 0.0,
+        sfb_shadow: 4,
+        sfb_predication: false,
+    }
+}
+
+/// A CoreMark-like kernel (state machine + list + matrix work) with a
+/// configurable share of short-forwards "hammock" branches, the Section
+/// VI-C experiment's subject. With `predication` the hammocks decode into
+/// set-flag / conditional-execute micro-ops instead of branches.
+pub fn coremark(predication: bool) -> ProgramSpec {
+    ProgramSpec {
+        name: if predication {
+            "coremark+sfb".into()
+        } else {
+            "coremark".into()
+        },
+        seed: 0xc0de,
+        functions: 6,
+        blocks_per_fn: 10,
+        body_len: (2, 6),
+        mix: BranchMix {
+            cond: 0.62,
+            loop_back: 0.22,
+            call: 0.12,
+            jump: 0.04,
+            indirect: 0.0,
+        },
+        // Non-hammock branches are loopy and predictable; the hammock
+        // branches are data-dependent and nearly random — that is why
+        // predicating them away helps so much.
+        cond_behaviors: (0.30, 0.35, 0.20, 0.15),
+        bias: 0.93,
+        loop_trips: (8, 32),
+        pattern_len: (2, 8),
+        correlation_depth: (1, 6),
+        mem_fraction: 0.22,
+        fp_fraction: 0.0,
+        working_set: 8 * 1024,
+        pointer_chase: false,
+        dep_fraction: 0.35,
+        sfb_fraction: 0.30,
+        sfb_shadow: 3,
+        sfb_predication: predication,
+    }
+}
+
+/// Aliasing stress: far more hot static branches than untagged tables have
+/// entries, so index collisions dominate — separates tagged from untagged
+/// designs.
+pub fn aliasing_stress() -> ProgramSpec {
+    ProgramSpec {
+        name: "alias-stress".into(),
+        seed: 0xa11a,
+        functions: 96,
+        blocks_per_fn: 18,
+        body_len: (1, 4),
+        mix: BranchMix {
+            cond: 0.80,
+            loop_back: 0.04,
+            call: 0.12,
+            jump: 0.04,
+            indirect: 0.0,
+        },
+        cond_behaviors: (0.75, 0.10, 0.10, 0.05),
+        bias: 0.85,
+        working_set: 64 * 1024,
+        ..ProgramSpec::default()
+    }
+}
+
+/// Loop stress: nested counted loops with stable trip counts — the loop
+/// predictor's home turf.
+pub fn loop_stress() -> ProgramSpec {
+    ProgramSpec {
+        name: "loop-stress".into(),
+        seed: 0x100b,
+        functions: 3,
+        blocks_per_fn: 8,
+        body_len: (2, 5),
+        mix: BranchMix {
+            cond: 0.15,
+            loop_back: 0.75,
+            call: 0.06,
+            jump: 0.04,
+            indirect: 0.0,
+        },
+        cond_behaviors: (0.5, 0.3, 0.1, 0.1),
+        bias: 0.9,
+        loop_trips: (5, 24),
+        working_set: 8 * 1024,
+        ..ProgramSpec::default()
+    }
+}
+
+/// History-depth stress: branches correlated with outcomes `depth` back —
+/// learnable only by predictors whose history reaches that far.
+///
+/// The non-correlated filler branches follow short deterministic patterns,
+/// keeping history-window entropy low so the sweep measures history
+/// *reach* rather than table capacity.
+pub fn history_depth(depth: u32) -> ProgramSpec {
+    ProgramSpec {
+        name: format!("histdepth-{depth}"),
+        seed: 0x4157 + depth as u64,
+        functions: 4,
+        blocks_per_fn: 10,
+        mix: BranchMix {
+            cond: 0.75,
+            loop_back: 0.10,
+            call: 0.10,
+            jump: 0.05,
+            indirect: 0.0,
+        },
+        cond_behaviors: (0.0, 0.60, 0.35, 0.05),
+        pattern_len: (2, 4),
+        correlation_depth: (depth, depth),
+        working_set: 16 * 1024,
+        ..ProgramSpec::default()
+    }
+}
+
+/// BTB capacity stress: far more distinct taken-branch sites than BTB
+/// entries, so target state thrashes — separates designs by their target
+/// storage, not their direction predictors.
+pub fn btb_stress() -> ProgramSpec {
+    ProgramSpec {
+        name: "btb-stress".into(),
+        seed: 0xb7b5,
+        functions: 128,
+        blocks_per_fn: 16,
+        body_len: (1, 3),
+        mix: BranchMix {
+            cond: 0.30,
+            loop_back: 0.05,
+            call: 0.25,
+            jump: 0.38,
+            indirect: 0.02,
+        },
+        cond_behaviors: (0.2, 0.4, 0.3, 0.1),
+        bias: 0.95,
+        working_set: 32 * 1024,
+        ..ProgramSpec::default()
+    }
+}
+
+/// RAS stress: call chains deeper than the return-address stack, forcing
+/// return-target mispredictions when the stack wraps.
+pub fn ras_stress() -> ProgramSpec {
+    ProgramSpec {
+        name: "ras-stress".into(),
+        seed: 0x4a5c,
+        functions: 48,
+        blocks_per_fn: 4,
+        body_len: (1, 3),
+        mix: BranchMix {
+            cond: 0.15,
+            loop_back: 0.05,
+            call: 0.70,
+            jump: 0.10,
+            indirect: 0.0,
+        },
+        cond_behaviors: (0.2, 0.4, 0.3, 0.1),
+        bias: 0.95,
+        working_set: 16 * 1024,
+        ..ProgramSpec::default()
+    }
+}
+
+/// Builds a kernel by name (used by the bench harness CLI).
+pub fn kernel(name: &str) -> Option<SyntheticProgram> {
+    match name {
+        "dhrystone" => Some(dhrystone().build()),
+        "coremark" => Some(coremark(false).build()),
+        "coremark+sfb" => Some(coremark(true).build()),
+        "alias-stress" => Some(aliasing_stress().build()),
+        "loop-stress" => Some(loop_stress().build()),
+        "btb-stress" => Some(btb_stress().build()),
+        "ras-stress" => Some(ras_stress().build()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_uarch::InstructionStream;
+
+    #[test]
+    fn kernels_build_and_run() {
+        for name in [
+            "dhrystone",
+            "coremark",
+            "coremark+sfb",
+            "alias-stress",
+            "loop-stress",
+            "btb-stress",
+            "ras-stress",
+        ] {
+            let mut p = kernel(name).expect("known kernel");
+            for _ in 0..5000 {
+                assert!(p.next_inst().is_some(), "{name} must run forever");
+            }
+        }
+    }
+
+    #[test]
+    fn coremark_modes_differ_only_in_hammocks() {
+        let plain = coremark(false);
+        let pred = coremark(true);
+        assert_eq!(plain.sfb_fraction, pred.sfb_fraction);
+        assert!(pred.sfb_predication && !plain.sfb_predication);
+    }
+
+    #[test]
+    fn unknown_kernel_is_none() {
+        assert!(kernel("spec").is_none());
+    }
+
+    #[test]
+    fn history_depth_is_parameterized() {
+        let p = history_depth(20);
+        assert_eq!(p.correlation_depth, (20, 20));
+    }
+}

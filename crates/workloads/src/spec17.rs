@@ -1,0 +1,269 @@
+//! SPECint17 workload profiles.
+//!
+//! The paper evaluates on the ten SPECint2017 speed benchmarks with
+//! reference inputs, run for trillions of cycles on FPGAs. That input set
+//! is not reproducible here, so each benchmark is modelled as a synthetic
+//! program whose *branch character* matches what the characterization
+//! literature reports for it: code footprint, branch behaviour mix,
+//! predictability, memory locality, and ILP. The absolute numbers will not
+//! match the paper's; the cross-benchmark and cross-predictor *shape*
+//! (which workloads are hard, which predictor wins and by how much) is the
+//! reproduction target.
+
+use crate::synth::{BranchMix, ProgramSpec, SyntheticProgram};
+
+/// The ten SPECint17 benchmark names, in the paper's Fig 10 order.
+pub const SPEC17_NAMES: [&str; 10] = [
+    "perlbench",
+    "gcc",
+    "mcf",
+    "omnetpp",
+    "xalancbmk",
+    "x264",
+    "deepsjeng",
+    "leela",
+    "exchange2",
+    "xz",
+];
+
+/// Returns the profile for one SPECint17 benchmark.
+///
+/// # Panics
+///
+/// Panics on an unknown name; see [`SPEC17_NAMES`].
+pub fn spec17(name: &str) -> ProgramSpec {
+    let base = ProgramSpec {
+        name: name.into(),
+        seed: 0x5bec_0000 ^ cobra_sim::bits::mix64(name.len() as u64 * 131 + name.as_bytes()[0] as u64),
+        ..ProgramSpec::default()
+    };
+    match name {
+        // Interpreter: big code, indirect dispatch, history-friendly
+        // branches with a hard residue.
+        "perlbench" => ProgramSpec {
+            functions: 48,
+            blocks_per_fn: 14,
+            mix: BranchMix {
+                cond: 0.62,
+                loop_back: 0.1,
+                call: 0.17,
+                jump: 0.07,
+                indirect: 0.04,
+            },
+            cond_behaviors: (0.20, 0.22, 0.48, 0.10),
+            bias: 0.95,
+            correlation_depth: (1, 8),
+            working_set: 512 * 1024,
+            ..base
+        },
+        // Compiler: the largest code footprint; branch-dense, moderate
+        // predictability, heavy aliasing pressure on untagged tables.
+        "gcc" => ProgramSpec {
+            functions: 72,
+            blocks_per_fn: 16,
+            body_len: (2, 6),
+            mix: BranchMix {
+                cond: 0.66,
+                loop_back: 0.08,
+                call: 0.16,
+                jump: 0.06,
+                indirect: 0.04,
+            },
+            cond_behaviors: (0.45, 0.12, 0.35, 0.08),
+            bias: 0.78,
+            correlation_depth: (1, 14),
+            working_set: 1024 * 1024,
+            ..base
+        },
+        // Pointer-chasing over a huge working set; data-dependent branches.
+        "mcf" => ProgramSpec {
+            functions: 10,
+            blocks_per_fn: 10,
+            mix: BranchMix {
+                cond: 0.62,
+                loop_back: 0.22,
+                call: 0.10,
+                jump: 0.04,
+                indirect: 0.02,
+            },
+            cond_behaviors: (0.50, 0.05, 0.38, 0.07),
+            bias: 0.80,
+            mem_fraction: 0.42,
+            working_set: 16 * 1024 * 1024,
+            pointer_chase: true,
+            dep_fraction: 0.55,
+            ..base
+        },
+        // Discrete-event simulation: virtual dispatch, poor locality.
+        "omnetpp" => ProgramSpec {
+            functions: 40,
+            blocks_per_fn: 12,
+            mix: BranchMix {
+                cond: 0.56,
+                loop_back: 0.10,
+                call: 0.18,
+                jump: 0.04,
+                indirect: 0.12,
+            },
+            cond_behaviors: (0.32, 0.12, 0.48, 0.08),
+            bias: 0.91,
+            mem_fraction: 0.35,
+            working_set: 8 * 1024 * 1024,
+            pointer_chase: true,
+            ..base
+        },
+        // XML processing: deep call chains, correlated branches.
+        "xalancbmk" => ProgramSpec {
+            functions: 56,
+            blocks_per_fn: 12,
+            mix: BranchMix {
+                cond: 0.56,
+                loop_back: 0.10,
+                call: 0.24,
+                jump: 0.06,
+                indirect: 0.04,
+            },
+            cond_behaviors: (0.30, 0.18, 0.45, 0.07),
+            bias: 0.93,
+            correlation_depth: (2, 10),
+            working_set: 2 * 1024 * 1024,
+            ..base
+        },
+        // Video encoding: loop nests, patterns, very predictable.
+        "x264" => ProgramSpec {
+            functions: 16,
+            blocks_per_fn: 10,
+            body_len: (5, 12),
+            mix: BranchMix {
+                cond: 0.40,
+                loop_back: 0.38,
+                call: 0.14,
+                jump: 0.06,
+                indirect: 0.02,
+            },
+            cond_behaviors: (0.14, 0.50, 0.26, 0.10),
+            bias: 0.97,
+            pattern_len: (2, 8),
+            correlation_depth: (1, 6),
+            loop_trips: (8, 64),
+            mem_fraction: 0.30,
+            fp_fraction: 0.10,
+            working_set: 2 * 1024 * 1024,
+            ..base
+        },
+        // Chess search: data-dependent branches near coin-flips.
+        "deepsjeng" => ProgramSpec {
+            functions: 24,
+            blocks_per_fn: 12,
+            mix: BranchMix {
+                cond: 0.68,
+                loop_back: 0.10,
+                call: 0.16,
+                jump: 0.04,
+                indirect: 0.02,
+            },
+            cond_behaviors: (0.68, 0.04, 0.24, 0.04),
+            bias: 0.62,
+            correlation_depth: (1, 10),
+            working_set: 512 * 1024,
+            dep_fraction: 0.45,
+            ..base
+        },
+        // Go engine (MCTS): the hardest branches in the suite.
+        "leela" => ProgramSpec {
+            functions: 20,
+            blocks_per_fn: 12,
+            mix: BranchMix {
+                cond: 0.66,
+                loop_back: 0.12,
+                call: 0.16,
+                jump: 0.04,
+                indirect: 0.02,
+            },
+            cond_behaviors: (0.72, 0.04, 0.20, 0.04),
+            bias: 0.58,
+            working_set: 256 * 1024,
+            dep_fraction: 0.45,
+            ..base
+        },
+        // Fortran puzzle solver: tight loop nests, extremely predictable.
+        "exchange2" => ProgramSpec {
+            functions: 6,
+            blocks_per_fn: 10,
+            body_len: (4, 10),
+            mix: BranchMix {
+                cond: 0.34,
+                loop_back: 0.46,
+                call: 0.12,
+                jump: 0.06,
+                indirect: 0.02,
+            },
+            cond_behaviors: (0.20, 0.40, 0.30, 0.10),
+            bias: 0.94,
+            loop_trips: (6, 48),
+            working_set: 64 * 1024,
+            ..base
+        },
+        // Compression: biased data-dependent branches, streaming memory.
+        "xz" => ProgramSpec {
+            functions: 12,
+            blocks_per_fn: 10,
+            mix: BranchMix {
+                cond: 0.60,
+                loop_back: 0.20,
+                call: 0.12,
+                jump: 0.06,
+                indirect: 0.02,
+            },
+            cond_behaviors: (0.50, 0.13, 0.30, 0.07),
+            bias: 0.82,
+            mem_fraction: 0.35,
+            working_set: 4 * 1024 * 1024,
+            dep_fraction: 0.5,
+            ..base
+        },
+        other => panic!("unknown SPECint17 benchmark `{other}`"),
+    }
+}
+
+/// Builds all ten benchmarks.
+pub fn all_spec17() -> Vec<SyntheticProgram> {
+    SPEC17_NAMES.iter().map(|n| spec17(n).build()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_build() {
+        let all = all_spec17();
+        assert_eq!(all.len(), 10);
+        for p in &all {
+            assert!(p.code_bytes() > 0);
+        }
+    }
+
+    #[test]
+    fn footprints_reflect_characters() {
+        let gcc = spec17("gcc").build();
+        let exchange2 = spec17("exchange2").build();
+        assert!(
+            gcc.static_cond_branches() > 4 * exchange2.static_cond_branches(),
+            "gcc must dwarf exchange2 in static branches"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown SPECint17 benchmark")]
+    fn unknown_name_panics() {
+        let _ = spec17("povray");
+    }
+
+    #[test]
+    fn profiles_are_distinct() {
+        let a = spec17("leela");
+        let b = spec17("x264");
+        assert_ne!(a, b);
+    }
+}

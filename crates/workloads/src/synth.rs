@@ -1,0 +1,885 @@
+//! Synthetic-program generation: a seeded CFG generator and its executor.
+//!
+//! A [`ProgramSpec`] describes a program's *shape* — code footprint, branch
+//! behaviour mix, memory locality, instruction-level parallelism — and
+//! [`ProgramSpec::build`] generates a concrete static program (a flat code
+//! image of 2-byte parcels) plus the dynamic state to execute it forever.
+//! The resulting [`SyntheticProgram`] implements
+//! [`cobra_uarch::InstructionStream`]: it yields the
+//! architectural instruction sequence and answers static decode queries for
+//! wrong-path fetch.
+
+use crate::behavior::{BehaviorState, BranchBehavior};
+use cobra_core::BranchKind;
+use cobra_sim::SplitMix64;
+use cobra_uarch::{CfiOutcome, DynInst, InstructionStream, Op, StaticInst};
+
+/// Base address of generated code.
+const CODE_BASE: u64 = 0x0001_0000;
+/// Base address of the data working set.
+const DATA_BASE: u64 = 0x1000_0000;
+
+/// Non-CFI instruction classes, sampled for block bodies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum OpClass {
+    Int,
+    Mul,
+    Fp,
+    Load,
+    Store,
+}
+
+/// One 2-byte parcel of the static code image.
+#[derive(Debug, Clone, PartialEq)]
+enum CodeOp {
+    Body(OpClass),
+    Cond {
+        target: usize,
+        behavior: usize,
+        sfb: bool,
+    },
+    LoopBack {
+        target: usize,
+        behavior: usize,
+    },
+    Jump {
+        target: usize,
+    },
+    Call {
+        target: usize,
+    },
+    Ret,
+    Indirect {
+        targets: Vec<usize>,
+    },
+    /// A predicated hammock's set-flag op (Section VI-C transform).
+    SetFlag,
+    /// A shadow instruction executed under predication.
+    Predicated(OpClass),
+}
+
+/// Relative weights for block terminator selection.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BranchMix {
+    /// Forward conditional branches.
+    pub cond: f64,
+    /// Backward loop branches.
+    pub loop_back: f64,
+    /// Function calls.
+    pub call: f64,
+    /// Unconditional jumps.
+    pub jump: f64,
+    /// Indirect jumps (switch dispatch).
+    pub indirect: f64,
+}
+
+impl Default for BranchMix {
+    fn default() -> Self {
+        Self {
+            cond: 0.6,
+            loop_back: 0.15,
+            call: 0.15,
+            jump: 0.05,
+            indirect: 0.05,
+        }
+    }
+}
+
+/// The shape of a synthetic program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgramSpec {
+    /// Workload name (reported in results).
+    pub name: String,
+    /// Generation seed: same spec + seed = same program.
+    pub seed: u64,
+    /// Number of functions (code footprint).
+    pub functions: usize,
+    /// Basic blocks per function.
+    pub blocks_per_fn: usize,
+    /// Body length range per block, in instructions.
+    pub body_len: (usize, usize),
+    /// Terminator mix.
+    pub mix: BranchMix,
+    /// Behaviour mix for conditional branches: weights for
+    /// (biased, pattern, correlated, alternating).
+    pub cond_behaviors: (f64, f64, f64, f64),
+    /// Bias strength for biased branches: `p(taken)` is drawn near this.
+    pub bias: f64,
+    /// Loop trip-count range.
+    pub loop_trips: (u32, u32),
+    /// Pattern length range.
+    pub pattern_len: (u32, u32),
+    /// Correlation depth range.
+    pub correlation_depth: (u32, u32),
+    /// Fraction of body instructions that are memory operations.
+    pub mem_fraction: f64,
+    /// Fraction of body instructions that are floating point.
+    pub fp_fraction: f64,
+    /// Data working-set size in bytes.
+    pub working_set: u64,
+    /// Pointer-chasing access pattern (cache-hostile) instead of streaming.
+    pub pointer_chase: bool,
+    /// Fraction of instructions carrying a data dependency on a recent
+    /// producer.
+    pub dep_fraction: f64,
+    /// Fraction of conditional branches that are short-forwards "hammock"
+    /// branches (Section VI-C candidates).
+    pub sfb_fraction: f64,
+    /// Hammock shadow length in instructions.
+    pub sfb_shadow: usize,
+    /// Decode hammocks into predicated set-flag/conditional-execute
+    /// sequences instead of branches (the Section VI-C optimization).
+    pub sfb_predication: bool,
+}
+
+impl Default for ProgramSpec {
+    fn default() -> Self {
+        Self {
+            name: "default".into(),
+            seed: 1,
+            functions: 8,
+            blocks_per_fn: 12,
+            body_len: (3, 8),
+            mix: BranchMix::default(),
+            cond_behaviors: (0.4, 0.2, 0.3, 0.1),
+            bias: 0.8,
+            loop_trips: (4, 40),
+            pattern_len: (3, 12),
+            correlation_depth: (1, 12),
+            mem_fraction: 0.25,
+            fp_fraction: 0.05,
+            working_set: 64 * 1024,
+            pointer_chase: false,
+            dep_fraction: 0.35,
+            sfb_fraction: 0.0,
+            sfb_shadow: 4,
+            sfb_predication: false,
+        }
+    }
+}
+
+impl ProgramSpec {
+    /// Generates the concrete program.
+    pub fn build(&self) -> SyntheticProgram {
+        Generator::new(self).generate()
+    }
+}
+
+struct Generator<'a> {
+    spec: &'a ProgramSpec,
+    rng: SplitMix64,
+    code: Vec<CodeOp>,
+    behaviors: Vec<BehaviorState>,
+}
+
+impl<'a> Generator<'a> {
+    fn new(spec: &'a ProgramSpec) -> Self {
+        Self {
+            spec,
+            rng: SplitMix64::new(spec.seed ^ 0x5eed),
+            code: Vec::new(),
+            behaviors: Vec::new(),
+        }
+    }
+
+    fn sample_body_op(&mut self) -> OpClass {
+        let r = self.rng.next_u64() as f64 / u64::MAX as f64;
+        if r < self.spec.mem_fraction {
+            if self.rng.chance(0.65) {
+                OpClass::Load
+            } else {
+                OpClass::Store
+            }
+        } else if r < self.spec.mem_fraction + self.spec.fp_fraction {
+            OpClass::Fp
+        } else if self.rng.chance(0.06) {
+            OpClass::Mul
+        } else {
+            OpClass::Int
+        }
+    }
+
+    fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        if hi <= lo {
+            lo
+        } else {
+            lo + self.rng.below(hi - lo + 1)
+        }
+    }
+
+    fn new_cond_behavior(&mut self) -> usize {
+        let (b, p, c, a) = self.spec.cond_behaviors;
+        let total = b + p + c + a;
+        let r = self.rng.next_u64() as f64 / u64::MAX as f64 * total;
+        let behavior = if r < b {
+            // Bias drawn near the spec's centre, mirrored around 0.5 so
+            // both taken- and not-taken-biased branches occur.
+            let centre = if self.rng.chance(0.5) {
+                self.spec.bias
+            } else {
+                1.0 - self.spec.bias
+            };
+            let jitter = (self.rng.next_u64() % 1000) as f64 / 10_000.0 - 0.05;
+            BranchBehavior::Biased {
+                p: (centre + jitter).clamp(0.02, 0.98),
+            }
+        } else if r < b + p {
+            let len = self.range(self.spec.pattern_len.0 as u64, self.spec.pattern_len.1 as u64)
+                as u32;
+            BranchBehavior::Pattern {
+                bits: self.rng.next_u64(),
+                len,
+            }
+        } else if r < b + p + c {
+            let depth = self.range(
+                self.spec.correlation_depth.0 as u64,
+                self.spec.correlation_depth.1 as u64,
+            ) as u32;
+            BranchBehavior::Correlated {
+                depth,
+                invert: self.rng.chance(0.5),
+            }
+        } else {
+            BranchBehavior::Alternating
+        };
+        let seed = self.rng.next_u64();
+        self.behaviors.push(BehaviorState::new(behavior, seed));
+        self.behaviors.len() - 1
+    }
+
+    fn new_loop_behavior(&mut self) -> usize {
+        let trip =
+            self.range(self.spec.loop_trips.0 as u64, self.spec.loop_trips.1 as u64) as u32;
+        let seed = self.rng.next_u64();
+        self.behaviors
+            .push(BehaviorState::new(BranchBehavior::Loop { trip }, seed));
+        self.behaviors.len() - 1
+    }
+
+    fn generate(mut self) -> SyntheticProgram {
+        let spec = self.spec;
+        let mut fn_entries = Vec::with_capacity(spec.functions);
+        // Per-function block index placeholders to patch after layout.
+        for f in 0..spec.functions {
+            fn_entries.push(self.code.len());
+            let mut block_starts: Vec<usize> = Vec::with_capacity(spec.blocks_per_fn);
+            // (code index of terminator, symbolic target block, kind)
+            let mut patches: Vec<(usize, usize)> = Vec::new();
+            // Loop regions are kept disjoint: without this floor, nested
+            // back-edges multiply trip counts and execution collapses into
+            // the innermost loop.
+            let mut loop_floor = 0usize;
+            for b in 0..spec.blocks_per_fn {
+                block_starts.push(self.code.len());
+                let body = self.range(spec.body_len.0 as u64, spec.body_len.1 as u64) as usize;
+                for _ in 0..body {
+                    let op = self.sample_body_op();
+                    self.code.push(CodeOp::Body(op));
+                }
+                let last_block = b + 1 == spec.blocks_per_fn;
+                if last_block {
+                    if f == 0 {
+                        // Main loops forever.
+                        patches.push((self.code.len(), usize::MAX));
+                        self.code.push(CodeOp::Jump { target: 0 });
+                    } else {
+                        self.code.push(CodeOp::Ret);
+                    }
+                    continue;
+                }
+                self.emit_terminator(f, b, spec, &mut patches, &mut loop_floor);
+            }
+            // Patch symbolic block targets: value b means "block b of this
+            // function"; usize::MAX means function 0's entry.
+            for (idx, sym) in patches {
+                let resolved = if sym == usize::MAX {
+                    0
+                } else {
+                    block_starts[sym.min(spec.blocks_per_fn - 1)]
+                };
+                match &mut self.code[idx] {
+                    CodeOp::Cond { target, .. }
+                    | CodeOp::LoopBack { target, .. }
+                    | CodeOp::Jump { target } => *target = resolved,
+                    CodeOp::Indirect { targets } => {
+                        // Symbolic indirect targets were encoded densely in
+                        // `sym`; regenerate from block list instead.
+                        for t in targets.iter_mut() {
+                            *t = block_starts[(*t).min(spec.blocks_per_fn - 1)];
+                        }
+                    }
+                    other => unreachable!("patch on non-branch {other:?}"),
+                }
+            }
+        }
+        // Patch calls (emitted with symbolic function numbers).
+        for idx in 0..self.code.len() {
+            if let CodeOp::Call { target } = &mut self.code[idx] {
+                *target = fn_entries[*target];
+            }
+        }
+        SyntheticProgram::new(
+            spec.name.clone(),
+            self.code,
+            self.behaviors,
+            spec.working_set.max(64),
+            spec.pointer_chase,
+            spec.dep_fraction,
+            spec.seed,
+        )
+    }
+
+    fn emit_terminator(
+        &mut self,
+        f: usize,
+        b: usize,
+        spec: &ProgramSpec,
+        patches: &mut Vec<(usize, usize)>,
+        loop_floor: &mut usize,
+    ) {
+        let m = &spec.mix;
+        let total = m.cond + m.loop_back + m.call + m.jump + m.indirect;
+        let r = self.rng.next_u64() as f64 / u64::MAX as f64 * total;
+        if r < m.cond {
+            if self.rng.chance(spec.sfb_fraction) {
+                // Hammock branches guard data-dependent values and are
+                // close to coin-flips — which is what makes predicating
+                // them away (Section VI-C) so valuable.
+                let p = 0.42 + self.rng.below(17) as f64 / 100.0;
+                let seed = self.rng.next_u64();
+                self.behaviors
+                    .push(BehaviorState::new(BranchBehavior::Biased { p }, seed));
+                let behavior = self.behaviors.len() - 1;
+                // A hammock: branch over an inline shadow to the next block.
+                let shadow = spec.sfb_shadow.max(1);
+                if spec.sfb_predication {
+                    // Consume the behaviour slot to keep programs aligned
+                    // across modes, but emit predicated micro-ops.
+                    self.code.push(CodeOp::SetFlag);
+                    for _ in 0..shadow {
+                        let op = self.sample_body_op();
+                        self.code.push(CodeOp::Predicated(op));
+                    }
+                } else {
+                    let branch_idx = self.code.len();
+                    self.code.push(CodeOp::Cond {
+                        target: 0,
+                        behavior,
+                        sfb: true,
+                    });
+                    for _ in 0..shadow {
+                        let op = self.sample_body_op();
+                        self.code.push(CodeOp::Body(op));
+                    }
+                    // Target = just past the shadow (start of next block).
+                    let target = self.code.len();
+                    if let CodeOp::Cond { target: t, .. } = &mut self.code[branch_idx] {
+                        *t = target;
+                    }
+                }
+            } else {
+                let behavior = self.new_cond_behavior();
+                let skip = 1 + self.rng.below(3) as usize;
+                patches.push((self.code.len(), b + skip));
+                self.code.push(CodeOp::Cond {
+                    target: 0,
+                    behavior,
+                    sfb: false,
+                });
+            }
+        } else if r < m.cond + m.loop_back {
+            let behavior = self.new_loop_behavior();
+            let back = 1 + self.rng.below(2) as usize;
+            let target = b.saturating_sub(back).max(*loop_floor);
+            *loop_floor = b + 1;
+            patches.push((self.code.len(), target));
+            self.code.push(CodeOp::LoopBack {
+                target: 0,
+                behavior,
+            });
+        } else if r < m.cond + m.loop_back + m.call && f + 1 < spec.functions {
+            // Call targets are biased toward leaf (late) functions so call
+            // chains stay shallow, as in real programs.
+            let span = (spec.functions - f - 1).min(6) as u64;
+            let callee = if self.rng.chance(0.7) {
+                spec.functions - 1 - self.rng.below(span) as usize
+            } else {
+                f + 1 + self.rng.below(span) as usize
+            };
+            self.code.push(CodeOp::Call { target: callee });
+        } else if r < m.cond + m.loop_back + m.call + m.jump {
+            patches.push((self.code.len(), b + 1));
+            self.code.push(CodeOp::Jump { target: 0 });
+        } else {
+            // Indirect to 2-4 forward blocks (symbolic block numbers).
+            let n = 2 + self.rng.below(3) as usize;
+            let targets: Vec<usize> = (0..n).map(|i| b + 1 + i).collect();
+            patches.push((self.code.len(), 0));
+            self.code.push(CodeOp::Indirect { targets });
+        }
+    }
+}
+
+/// A generated synthetic program: static code image plus dynamic execution
+/// state. Implements [`InstructionStream`]; execution never terminates (the
+/// main function loops), so runs are bounded by the core's instruction
+/// budget.
+#[derive(Debug, Clone)]
+pub struct SyntheticProgram {
+    name: String,
+    code: Vec<CodeOp>,
+    behaviors: Vec<BehaviorState>,
+    working_set: u64,
+    pointer_chase: bool,
+    dep_fraction: f64,
+    // Dynamic state.
+    ip: usize,
+    call_stack: Vec<usize>,
+    ghist: u64,
+    rng: SplitMix64,
+    mem_cursor: u64,
+    chase_state: u64,
+    executed: u64,
+}
+
+impl SyntheticProgram {
+    #[allow(clippy::too_many_arguments)]
+    fn new(
+        name: String,
+        code: Vec<CodeOp>,
+        behaviors: Vec<BehaviorState>,
+        working_set: u64,
+        pointer_chase: bool,
+        dep_fraction: f64,
+        seed: u64,
+    ) -> Self {
+        Self {
+            name,
+            code,
+            behaviors,
+            working_set,
+            pointer_chase,
+            dep_fraction,
+            ip: 0,
+            call_stack: Vec::new(),
+            ghist: 0,
+            rng: SplitMix64::new(seed ^ 0xd11a),
+            mem_cursor: 0,
+            chase_state: seed | 1,
+            executed: 0,
+        }
+    }
+
+    /// Workload name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Static code size in bytes.
+    pub fn code_bytes(&self) -> u64 {
+        self.code.len() as u64 * 2
+    }
+
+    /// Number of static conditional branches.
+    pub fn static_cond_branches(&self) -> usize {
+        self.code
+            .iter()
+            .filter(|c| matches!(c, CodeOp::Cond { .. } | CodeOp::LoopBack { .. }))
+            .count()
+    }
+
+    fn pc_of(&self, idx: usize) -> u64 {
+        CODE_BASE + idx as u64 * 2
+    }
+
+    fn idx_of(&self, pc: u64) -> Option<usize> {
+        if pc < CODE_BASE || pc & 1 != 0 {
+            return None;
+        }
+        let idx = ((pc - CODE_BASE) / 2) as usize;
+        (idx < self.code.len()).then_some(idx)
+    }
+
+    fn next_addr(&mut self) -> u64 {
+        if self.pointer_chase {
+            self.chase_state = cobra_sim::bits::mix64(self.chase_state);
+            DATA_BASE + ((self.chase_state % self.working_set) & !7)
+        } else if self.rng.chance(0.25) {
+            DATA_BASE + (self.rng.below(self.working_set) & !7)
+        } else {
+            self.mem_cursor = (self.mem_cursor + 8) % self.working_set;
+            DATA_BASE + self.mem_cursor
+        }
+    }
+
+    fn body_op(&mut self, class: OpClass) -> Op {
+        match class {
+            OpClass::Int => Op::Int,
+            OpClass::Mul => Op::Mul,
+            OpClass::Fp => Op::Fp,
+            OpClass::Load => Op::Load {
+                addr: self.next_addr(),
+            },
+            OpClass::Store => Op::Store {
+                addr: self.next_addr(),
+            },
+        }
+    }
+
+    fn dep(&mut self) -> u8 {
+        if self.rng.chance(self.dep_fraction) {
+            1 + self.rng.below(4) as u8
+        } else {
+            0
+        }
+    }
+
+    fn static_op(class: OpClass) -> StaticInst {
+        let op = match class {
+            OpClass::Int => Op::Int,
+            OpClass::Mul => Op::Mul,
+            OpClass::Fp => Op::Fp,
+            OpClass::Load => Op::Load { addr: DATA_BASE },
+            OpClass::Store => Op::Store { addr: DATA_BASE },
+        };
+        StaticInst {
+            op,
+            cfi_kind: None,
+            target: None,
+        }
+    }
+}
+
+impl InstructionStream for SyntheticProgram {
+    fn entry_pc(&self) -> u64 {
+        CODE_BASE
+    }
+
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.executed += 1;
+        let pc = self.pc_of(self.ip);
+        let op = self.code[self.ip].clone();
+        let inst = match op {
+            CodeOp::Body(class) => {
+                self.ip += 1;
+                DynInst {
+                    pc,
+                    op: self.body_op(class),
+                    cfi: None,
+                    dep: self.dep(),
+                }
+            }
+            CodeOp::SetFlag => {
+                self.ip += 1;
+                DynInst {
+                    pc,
+                    op: Op::Int,
+                    cfi: None,
+                    dep: self.dep(),
+                }
+            }
+            CodeOp::Predicated(class) => {
+                self.ip += 1;
+                DynInst {
+                    pc,
+                    op: self.body_op(class),
+                    cfi: None,
+                    dep: self.dep(),
+                }
+            }
+            CodeOp::Cond {
+                target,
+                behavior,
+                sfb,
+            } => {
+                let taken = self.behaviors[behavior].next_outcome(self.ghist);
+                self.ghist = (self.ghist << 1) | taken as u64;
+                let t = self.pc_of(target);
+                self.ip = if taken { target } else { self.ip + 1 };
+                DynInst {
+                    pc,
+                    op: Op::Cfi,
+                    cfi: Some(CfiOutcome {
+                        kind: BranchKind::Conditional,
+                        taken,
+                        target: t,
+                        sfb,
+                    }),
+                    dep: self.dep(),
+                }
+            }
+            CodeOp::LoopBack { target, behavior } => {
+                let taken = self.behaviors[behavior].next_outcome(self.ghist);
+                self.ghist = (self.ghist << 1) | taken as u64;
+                let t = self.pc_of(target);
+                self.ip = if taken { target } else { self.ip + 1 };
+                DynInst {
+                    pc,
+                    op: Op::Cfi,
+                    cfi: Some(CfiOutcome {
+                        kind: BranchKind::Conditional,
+                        taken,
+                        target: t,
+                        sfb: false,
+                    }),
+                    dep: self.dep(),
+                }
+            }
+            CodeOp::Jump { target } => {
+                self.ip = target;
+                DynInst {
+                    pc,
+                    op: Op::Cfi,
+                    cfi: Some(CfiOutcome {
+                        kind: BranchKind::Jump,
+                        taken: true,
+                        target: self.pc_of(target),
+                        sfb: false,
+                    }),
+                    dep: 0,
+                }
+            }
+            CodeOp::Call { target } => {
+                self.call_stack.push(self.ip + 1);
+                self.ip = target;
+                DynInst {
+                    pc,
+                    op: Op::Cfi,
+                    cfi: Some(CfiOutcome {
+                        kind: BranchKind::Call,
+                        taken: true,
+                        target: self.pc_of(target),
+                        sfb: false,
+                    }),
+                    dep: 0,
+                }
+            }
+            CodeOp::Ret => {
+                let resume = self.call_stack.pop().unwrap_or(0);
+                self.ip = resume;
+                DynInst {
+                    pc,
+                    op: Op::Cfi,
+                    cfi: Some(CfiOutcome {
+                        kind: BranchKind::Ret,
+                        taken: true,
+                        target: self.pc_of(resume),
+                        sfb: false,
+                    }),
+                    dep: 0,
+                }
+            }
+            CodeOp::Indirect { ref targets } => {
+                // Mostly monomorphic dispatch with an occasional megamorphic
+                // flip, as observed for real indirect branches.
+                let pick = if self.rng.chance(0.85) {
+                    targets[0]
+                } else {
+                    targets[(self.rng.below(targets.len() as u64)) as usize]
+                };
+                self.ip = pick;
+                DynInst {
+                    pc,
+                    op: Op::Cfi,
+                    cfi: Some(CfiOutcome {
+                        kind: BranchKind::Indirect,
+                        taken: true,
+                        target: self.pc_of(pick),
+                        sfb: false,
+                    }),
+                    dep: 0,
+                }
+            }
+        };
+        Some(inst)
+    }
+
+    fn inst_at(&self, pc: u64) -> StaticInst {
+        let Some(idx) = self.idx_of(pc) else {
+            return StaticInst::filler();
+        };
+        match &self.code[idx] {
+            CodeOp::Body(c) | CodeOp::Predicated(c) => Self::static_op(*c),
+            CodeOp::SetFlag => StaticInst::filler(),
+            CodeOp::Cond { target, .. } | CodeOp::LoopBack { target, .. } => StaticInst {
+                op: Op::Cfi,
+                cfi_kind: Some(BranchKind::Conditional),
+                target: Some(self.pc_of(*target)),
+            },
+            CodeOp::Jump { target } => StaticInst {
+                op: Op::Cfi,
+                cfi_kind: Some(BranchKind::Jump),
+                target: Some(self.pc_of(*target)),
+            },
+            CodeOp::Call { target } => StaticInst {
+                op: Op::Cfi,
+                cfi_kind: Some(BranchKind::Call),
+                target: Some(self.pc_of(*target)),
+            },
+            CodeOp::Ret => StaticInst {
+                op: Op::Cfi,
+                cfi_kind: Some(BranchKind::Ret),
+                target: None,
+            },
+            CodeOp::Indirect { .. } => StaticInst {
+                op: Op::Cfi,
+                cfi_kind: Some(BranchKind::Indirect),
+                target: None,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ProgramSpec {
+        ProgramSpec {
+            name: "test".into(),
+            seed: 7,
+            ..ProgramSpec::default()
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = spec().build();
+        let b = spec().build();
+        assert_eq!(a.code, b.code);
+        let mut a = a;
+        let mut b = b;
+        for _ in 0..1000 {
+            assert_eq!(a.next_inst(), b.next_inst());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = spec().build();
+        let b = ProgramSpec {
+            seed: 8,
+            ..spec()
+        }
+        .build();
+        assert_ne!(a.code, b.code);
+    }
+
+    #[test]
+    fn executes_forever_and_consistently() {
+        let mut p = spec().build();
+        let mut cond = 0;
+        for _ in 0..50_000 {
+            let i = p.next_inst().expect("infinite program");
+            if let Some(c) = i.cfi {
+                // Taken CFIs jump to their target; the next inst must be
+                // there.
+                if c.kind == BranchKind::Conditional && c.taken {
+                    cond += 1;
+                }
+            }
+        }
+        assert!(cond > 100, "program must execute taken branches: {cond}");
+    }
+
+    #[test]
+    fn dynamic_pcs_follow_control_flow() {
+        let mut p = spec().build();
+        let mut prev: Option<DynInst> = None;
+        for _ in 0..20_000 {
+            let i = p.next_inst().unwrap();
+            if let Some(pr) = prev {
+                let expected = match pr.cfi {
+                    Some(c) if c.taken => c.target,
+                    _ => pr.pc + 2,
+                };
+                assert_eq!(i.pc, expected, "control-flow discontinuity");
+            }
+            prev = Some(i);
+        }
+    }
+
+    #[test]
+    fn static_decode_matches_dynamic_cfis() {
+        let mut p = spec().build();
+        for _ in 0..20_000 {
+            let i = p.next_inst().unwrap();
+            let st = p.inst_at(i.pc);
+            match i.cfi {
+                Some(c) => {
+                    assert_eq!(st.cfi_kind, Some(c.kind), "kind mismatch at {:#x}", i.pc);
+                    if matches!(c.kind, BranchKind::Conditional | BranchKind::Jump | BranchKind::Call)
+                    {
+                        assert_eq!(st.target, Some(c.target).filter(|_| c.taken).or(st.target));
+                        if c.taken {
+                            assert_eq!(st.target, Some(c.target), "static target mismatch");
+                        }
+                    }
+                }
+                None => assert!(st.cfi_kind.is_none(), "spurious CFI at {:#x}", i.pc),
+            }
+        }
+    }
+
+    #[test]
+    fn sfb_predication_removes_hammock_branches() {
+        let base = ProgramSpec {
+            sfb_fraction: 0.8,
+            sfb_shadow: 3,
+            ..spec()
+        };
+        let with_branches = base.build();
+        let predicated = ProgramSpec {
+            sfb_predication: true,
+            ..base
+        }
+        .build();
+        let hammocks = |p: &SyntheticProgram| {
+            p.code
+                .iter()
+                .filter(|c| matches!(c, CodeOp::Cond { sfb: true, .. }))
+                .count()
+        };
+        assert!(hammocks(&with_branches) > 0);
+        assert_eq!(hammocks(&predicated), 0);
+        assert!(
+            predicated
+                .code
+                .iter()
+                .any(|c| matches!(c, CodeOp::SetFlag)),
+            "predicated mode emits set-flag ops"
+        );
+    }
+
+    #[test]
+    fn working_set_bounds_addresses() {
+        let mut p = ProgramSpec {
+            working_set: 4096,
+            mem_fraction: 0.9,
+            ..spec()
+        }
+        .build();
+        for _ in 0..5000 {
+            let i = p.next_inst().unwrap();
+            if let Op::Load { addr } | Op::Store { addr } = i.op {
+                assert!((DATA_BASE..DATA_BASE + 4096).contains(&addr));
+            }
+        }
+    }
+
+    #[test]
+    fn code_footprint_scales_with_functions() {
+        let small = ProgramSpec {
+            functions: 2,
+            ..spec()
+        }
+        .build();
+        let large = ProgramSpec {
+            functions: 30,
+            ..spec()
+        }
+        .build();
+        assert!(large.code_bytes() > 5 * small.code_bytes());
+        assert!(large.static_cond_branches() > small.static_cond_branches());
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: compose a predictor from a topology string, drop it into
+//! the BOOM-like core, and measure a workload.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use cobra::core::designs;
+use cobra::uarch::{Core, CoreConfig};
+use cobra::workloads::{kernels, spec17};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Pick one of the paper's designs (Table I). A design is a topology
+    //    string plus a registry of configured sub-components.
+    let design = designs::tage_l();
+    println!("design:   {}", design.name);
+    println!("topology: {}", design.topology);
+
+    // 2. Attach it to the Table II core and run a workload.
+    let mut core = Core::new(
+        &design,
+        CoreConfig::boom_4wide(),
+        kernels::dhrystone().build(),
+    )?;
+    let report = core.run(200_000, "dhrystone");
+    println!("\n{report}");
+
+    // 3. The predictor unit reports its own behaviour and physical shape.
+    let bpu = core.bpu();
+    println!("\npredictor stats: {:?}", bpu.stats());
+    println!(
+        "predictor storage: {:.1} KB (components) + {:.1} KB (management)",
+        bpu.storage_by_component()
+            .iter()
+            .map(|(_, r)| r.kilobytes())
+            .sum::<f64>(),
+        bpu.meta_storage().kilobytes()
+    );
+
+    // 4. Sweep a couple of SPECint17 profiles across all three designs.
+    println!();
+    for w in ["leela", "x264"] {
+        for d in designs::all() {
+            let mut core = Core::new(&d, CoreConfig::boom_4wide(), spec17::spec17(w).build())?;
+            println!("{}", core.run(100_000, w));
+        }
+    }
+    Ok(())
+}

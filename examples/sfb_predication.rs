@@ -1,0 +1,41 @@
+//! The Section VI-C backend co-design experiment as a runnable example:
+//! short-forwards "hammock" branches decoded into predicated micro-ops
+//! improve every predictor's accuracy on a CoreMark-like kernel.
+//!
+//! ```sh
+//! cargo run --release --example sfb_predication
+//! ```
+
+use cobra::core::designs;
+use cobra::uarch::{Core, CoreConfig};
+use cobra::workloads::kernels;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Short-forwards-branch predication on the CoreMark kernel\n");
+    for design in designs::all() {
+        let mut base = Core::new(
+            &design,
+            CoreConfig::boom_4wide(),
+            kernels::coremark(false).build(),
+        )?;
+        let rb = base.run(150_000, "coremark");
+        let mut pred = Core::new(
+            &design,
+            CoreConfig::boom_4wide(),
+            kernels::coremark(true).build(),
+        )?;
+        let rp = pred.run(150_000, "coremark+sfb");
+        println!(
+            "{:<12} IPC {:.3} → {:.3}   accuracy {:.2}% → {:.2}%",
+            design.name,
+            rb.counters.ipc(),
+            rp.counters.ipc(),
+            rb.counters.branch_accuracy(),
+            rp.counters.branch_accuracy()
+        );
+    }
+    println!("\nTwo effects, per the paper: predicated hammocks cannot");
+    println!("mispredict, and predictor entries they used to occupy are freed");
+    println!("for genuinely hard branches.");
+    Ok(())
+}

@@ -1,0 +1,87 @@
+//! Topology exploration: express several compositions of the same
+//! sub-components in the paper's notation (Section IV-A) and compare them
+//! end-to-end — the design-space workflow COBRA exists to enable.
+//!
+//! The three loop-predictor placements are the paper's own example:
+//!
+//! ```text
+//! TOURNEY3 > [(LOOP2 > GBIM2), LBIM2]
+//! TOURNEY3 > [GBIM2, (LOOP2 > LBIM2)]
+//! LOOP3 > TOURNEY3 > [GBIM2, LBIM2]
+//! ```
+//!
+//! ```sh
+//! cargo run --release --example topology_explorer
+//! ```
+
+use cobra::core::components::{
+    Btb, BtbConfig, Hbim, HbimConfig, IndexScheme, LoopConfig, LoopPredictor, Tourney,
+    TourneyConfig,
+};
+use cobra::core::composer::{ComponentRegistry, Design};
+use cobra::uarch::{Core, CoreConfig};
+use cobra::workloads::kernels;
+
+fn registry() -> ComponentRegistry {
+    let mut r = ComponentRegistry::new();
+    r.register("GBIM2", |w| Box::new(Hbim::new(HbimConfig::gbim(16384, 12, w))));
+    r.register("LBIM2", |w| {
+        Box::new(Hbim::new(HbimConfig {
+            entries: 1024,
+            counter_bits: 2,
+            index: IndexScheme::LocalHistory { bits: 32 },
+            latency: 2,
+            width: w,
+            superscalar: true,
+        }))
+    });
+    r.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
+    r.register("TOURNEY3", |w| Box::new(Tourney::new(TourneyConfig::paper(w))));
+    let loop2 = |latency: u8| {
+        move |w: u8| -> Box<dyn cobra::core::Component> {
+            Box::new(LoopPredictor::new(LoopConfig {
+                latency,
+                ..LoopConfig::paper(w)
+            }))
+        }
+    };
+    r.register("LOOP2", loop2(2));
+    r.register("LOOP3", loop2(3));
+    r
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let topologies = [
+        "TOURNEY3 > [(LOOP2 > GBIM2 > BTB2), LBIM2]",
+        "TOURNEY3 > [GBIM2 > BTB2, (LOOP2 > LBIM2)]",
+        "LOOP3 > TOURNEY3 > [GBIM2 > BTB2, LBIM2]",
+    ];
+    println!("Three placements of a loop predictor in a tournament design");
+    println!("(the paper's Section IV-A1 example), evaluated on a loop-heavy");
+    println!("kernel:\n");
+    for topo in topologies {
+        let design = Design {
+            name: format!("tourney[{topo}]"),
+            topology: topo.to_string(),
+            registry: registry(),
+            ghist_bits: 32,
+            lhist_entries: 256,
+        };
+        let mut core = Core::new(
+            &design,
+            CoreConfig::boom_4wide(),
+            kernels::loop_stress().build(),
+        )?;
+        let r = core.run(150_000, "loop-stress");
+        println!(
+            "{:<46} IPC {:.3}  MPKI {:>5.2}  acc {:.2}%",
+            topo,
+            r.counters.ipc(),
+            r.counters.mpki(),
+            r.counters.branch_accuracy()
+        );
+    }
+    println!("\nChanging the composition is a one-line topology edit: no");
+    println!("component, composer, or management-structure changes needed.");
+    Ok(())
+}

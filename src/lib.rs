@@ -1,0 +1,35 @@
+//! # cobra
+//!
+//! Facade crate for the COBRA branch-predictor composition framework
+//! reproduction (ISPASS 2021). Re-exports the workspace crates under one
+//! roof so examples and downstream users need a single dependency:
+//!
+//! * [`core`] — the COBRA interface, sub-component library, and composer;
+//! * [`uarch`] — the BOOM-like host core model;
+//! * [`workloads`] — synthetic SPECint17 profiles and kernels;
+//! * [`area`] — the FinFET-class area model;
+//! * [`sim`] — the shared simulation primitives.
+//!
+//! ```
+//! use cobra::core::designs;
+//! use cobra::uarch::{Core, CoreConfig};
+//! use cobra::workloads::kernels;
+//!
+//! let mut core = Core::new(
+//!     &designs::tage_l(),
+//!     CoreConfig::boom_4wide(),
+//!     kernels::dhrystone().build(),
+//! )?;
+//! let report = core.run(20_000, "dhrystone");
+//! assert!(report.counters.ipc() > 0.5);
+//! # Ok::<(), cobra::core::ComposeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cobra_area as area;
+pub use cobra_core as core;
+pub use cobra_sim as sim;
+pub use cobra_uarch as uarch;
+pub use cobra_workloads as workloads;

@@ -1,0 +1,256 @@
+//! Property-based tests over the framework's core data structures and
+//! invariants.
+
+use cobra::core::composer::Topology;
+use cobra::core::{BranchKind, PredictionBundle, SlotPrediction};
+use cobra::sim::{CircularBuffer, FoldedHistory, HistoryRegister, SaturatingCounter, SplitMix64};
+use proptest::prelude::*;
+
+fn arb_slot() -> impl Strategy<Value = SlotPrediction> {
+    (
+        proptest::option::of(prop_oneof![
+            Just(BranchKind::Conditional),
+            Just(BranchKind::Jump),
+            Just(BranchKind::Call),
+            Just(BranchKind::Ret),
+            Just(BranchKind::Indirect),
+        ]),
+        proptest::option::of(any::<bool>()),
+        proptest::option::of(0u64..1 << 40),
+    )
+        .prop_map(|(kind, taken, target)| SlotPrediction { kind, taken, target })
+}
+
+fn arb_bundle() -> impl Strategy<Value = PredictionBundle> {
+    (1u8..=8, proptest::collection::vec(arb_slot(), 8)).prop_map(|(width, slots)| {
+        let mut b = PredictionBundle::new(width);
+        for (i, s) in slots.iter().enumerate().take(width as usize) {
+            *b.slot_mut(i) = *s;
+        }
+        b
+    })
+}
+
+proptest! {
+    #[test]
+    fn override_by_empty_is_identity(b in arb_bundle()) {
+        let empty = PredictionBundle::new(b.width());
+        prop_assert_eq!(b.overridden_by(&empty), b);
+    }
+
+    #[test]
+    fn override_is_idempotent(
+        width in 1u8..=8,
+        bs in proptest::collection::vec(arb_slot(), 8),
+        os in proptest::collection::vec(arb_slot(), 8),
+    ) {
+        let mut b = PredictionBundle::new(width);
+        let mut o = PredictionBundle::new(width);
+        for i in 0..width as usize {
+            *b.slot_mut(i) = bs[i];
+            *o.slot_mut(i) = os[i];
+        }
+        let once = b.overridden_by(&o);
+        let twice = once.overridden_by(&o);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn redirect_slot_always_wants_redirect(b in arb_bundle()) {
+        if let Some((slot, target)) = b.redirect() {
+            prop_assert!(b.slot(slot).wants_redirect());
+            prop_assert_eq!(b.slot(slot).target, Some(target));
+            // Nothing earlier redirects with a target.
+            for i in 0..slot {
+                prop_assert!(!(b.slot(i).wants_redirect() && b.slot(i).target.is_some()));
+            }
+        }
+    }
+
+    #[test]
+    fn history_bits_bounded_by_width(b in arb_bundle()) {
+        let n = b.history_bits().count();
+        prop_assert!(n <= b.width() as usize);
+    }
+
+    #[test]
+    fn next_pc_is_target_or_block_fallthrough(b in arb_bundle(), pc in 0u64..1 << 30) {
+        let pc = pc * 2;
+        let next = b.next_pc(pc, 16);
+        match b.redirect() {
+            Some((_, t)) => prop_assert_eq!(next, t),
+            None => {
+                prop_assert_eq!(next, (pc & !15) + 16);
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn history_register_matches_vec_model(
+        width in 1u32..200,
+        pushes in proptest::collection::vec(any::<bool>(), 0..300),
+    ) {
+        let mut h = HistoryRegister::new(width);
+        let mut model: Vec<bool> = Vec::new(); // newest first
+        for &t in &pushes {
+            h.push(t);
+            model.insert(0, t);
+            model.truncate(width as usize);
+        }
+        for (i, &bit) in model.iter().enumerate() {
+            prop_assert_eq!(h.bit(i as u32), bit, "bit {} mismatch", i);
+        }
+        let n = width.min(24);
+        if model.len() >= n as usize {
+            let mut expect = 0u64;
+            for i in 0..n {
+                expect |= (model[i as usize] as u64) << i;
+            }
+            prop_assert_eq!(h.low_bits(n), expect);
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_exact(
+        width in 1u32..130,
+        prefix in proptest::collection::vec(any::<bool>(), 0..100),
+        suffix in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut h = HistoryRegister::new(width);
+        h.push_all(prefix.iter().copied());
+        let snap = h.snapshot();
+        let reference = h.clone();
+        h.push_all(suffix.iter().copied());
+        h.restore(&snap);
+        prop_assert_eq!(h, reference);
+    }
+
+    #[test]
+    fn folded_history_tracks_reference(
+        length in 1u32..64,
+        width in 1u32..16,
+        pushes in proptest::collection::vec(any::<bool>(), 1..200),
+    ) {
+        let mut ghist = HistoryRegister::new(length + 1);
+        let mut fold = FoldedHistory::new(length, width);
+        for &t in &pushes {
+            let outgoing = ghist.bit(length - 1);
+            fold.update(t, outgoing);
+            ghist.push(t);
+            prop_assert_eq!(fold.value(), ghist.folded(length, width));
+        }
+    }
+
+    #[test]
+    fn saturating_counter_stays_in_range(
+        bits in 1u8..=8,
+        ops in proptest::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let mut c = SaturatingCounter::weakly_taken(bits);
+        for &t in &ops {
+            c.train(t);
+            prop_assert!(c.value() <= c.max());
+        }
+        // Saturate up: must predict taken.
+        for _ in 0..(1 << bits) {
+            c.train(true);
+        }
+        prop_assert!(c.is_taken() && c.is_strong());
+    }
+
+    #[test]
+    fn circular_buffer_matches_deque_model(
+        capacity in 1usize..16,
+        ops in proptest::collection::vec(0u8..4, 0..200),
+    ) {
+        let mut buf: CircularBuffer<u32> = CircularBuffer::new(capacity);
+        let mut model: std::collections::VecDeque<(u64, u32)> = Default::default();
+        let mut next_val = 0u32;
+        let mut next_token = 0u64;
+        for op in ops {
+            match op {
+                0 => {
+                    let r = buf.push(next_val);
+                    if model.len() < capacity {
+                        let t = r.expect("model says there is room");
+                        prop_assert_eq!(t, next_token);
+                        model.push_back((next_token, next_val));
+                        next_token += 1;
+                    } else {
+                        prop_assert!(r.is_err());
+                    }
+                    next_val += 1;
+                }
+                1 => {
+                    let popped = buf.pop();
+                    let expect = model.pop_front();
+                    prop_assert_eq!(popped, expect);
+                }
+                2 => {
+                    // Random access on a live token.
+                    if let Some(&(t, v)) = model.front() {
+                        prop_assert_eq!(buf.get(t), Some(&v));
+                    }
+                }
+                _ => {
+                    // Squash after the oldest (keep only it).
+                    if let Some(&(t, _)) = model.front() {
+                        buf.squash_after(t);
+                        model.truncate(1);
+                        next_token = t + 1;
+                    }
+                }
+            }
+            prop_assert_eq!(buf.len(), model.len());
+        }
+    }
+
+    #[test]
+    fn splitmix_below_respects_bounds(seed in any::<u64>(), bound in 1u64..1 << 40) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..20 {
+            prop_assert!(rng.below(bound) < bound);
+        }
+    }
+}
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    let leaf = "[A-Z][A-Z0-9]{0,6}".prop_map(Topology::Leaf);
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
+                // `Over` left operands must be leaves for composability,
+                // but Display/parse round-trips arbitrary shapes.
+                Topology::Over(Box::new(a), Box::new(b))
+            }),
+            (
+                "[A-Z][A-Z0-9]{0,6}",
+                proptest::collection::vec(inner, 2..4)
+            )
+                .prop_map(|(selector, inputs)| Topology::Arbiter { selector, inputs }),
+        ]
+    })
+}
+
+proptest! {
+    #[test]
+    fn topology_display_parse_round_trip(t in arb_topology()) {
+        // Only topologies whose Over-left operands are leaves are
+        // expressible in the notation; skip the rest.
+        fn expressible(t: &Topology) -> bool {
+            match t {
+                Topology::Leaf(_) => true,
+                Topology::Over(a, b) => {
+                    matches!(**a, Topology::Leaf(_)) && expressible(b)
+                }
+                Topology::Arbiter { inputs, .. } => inputs.iter().all(expressible),
+            }
+        }
+        prop_assume!(expressible(&t));
+        let text = t.to_string();
+        let parsed = Topology::parse(&text).expect("display must parse");
+        prop_assert_eq!(parsed, t);
+    }
+}
