@@ -247,8 +247,7 @@ mod tests {
         r1.add_sram("a", spec(1024, 2, PortKind::DualPort));
         let mut r2 = StorageReport::new();
         r2.add_flops(512);
-        let b =
-            AreaBreakdown::from_reports(&m, [("x".to_string(), &r1), ("y".to_string(), &r2)]);
+        let b = AreaBreakdown::from_reports(&m, [("x".to_string(), &r1), ("y".to_string(), &r2)]);
         assert_eq!(b.items.len(), 2);
         let expected = m.report_area_um2(&r1) + m.report_area_um2(&r2);
         assert!((b.total_um2() - expected).abs() < 1e-9);
@@ -295,8 +294,7 @@ mod tests {
         use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
         use cobra_core::designs;
         let m = ProcessModel::finfet_7nm();
-        let bpu =
-            BranchPredictorUnit::build(&designs::tournament(), BpuConfig::default()).unwrap();
+        let bpu = BranchPredictorUnit::build(&designs::tournament(), BpuConfig::default()).unwrap();
         let meta = m.report_area_um2(&bpu.meta_storage());
         let total = m.report_area_um2(&bpu.total_storage());
         assert!(

@@ -1,31 +1,25 @@
-//! Criterion bench: end-to-end simulated instructions per wall-clock
-//! second for a full core + predictor + workload stack.
+//! Bench: end-to-end simulated instructions per wall-clock second for a
+//! full core + predictor + workload stack.
 
+use cobra_bench::timing::Harness;
 use cobra_core::designs;
 use cobra_uarch::{Core, CoreConfig};
 use cobra_workloads::kernels;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use std::hint::black_box;
 
-fn bench_end_to_end(crit: &mut Criterion) {
-    let mut g = crit.benchmark_group("core_simulation");
+fn main() {
     const INSTS: u64 = 20_000;
-    g.throughput(Throughput::Elements(INSTS));
+    let mut h = Harness::new("core_simulation");
     for design in designs::all() {
-        g.bench_function(&design.name, |b| {
-            b.iter(|| {
-                let mut core = Core::new(
-                    &design,
-                    CoreConfig::boom_4wide(),
-                    kernels::dhrystone().build(),
-                )
-                .expect("composes");
-                black_box(core.run(INSTS, "dhrystone"));
-            });
+        h.bench(&design.name, || {
+            let mut core = Core::new(
+                &design,
+                CoreConfig::boom_4wide(),
+                kernels::dhrystone().build(),
+            )
+            .expect("composes");
+            black_box(core.run(INSTS, "dhrystone"));
         });
     }
-    g.finish();
+    println!("({INSTS} simulated instructions per iteration)");
 }
-
-criterion_group!(benches, bench_end_to_end);
-criterion_main!(benches);

@@ -1,10 +1,10 @@
-//! Criterion bench: composed-BPU query/accept/resolve/commit round-trip
-//! rate for each stock design.
+//! Bench: composed-BPU query/accept/resolve/commit round-trip rate for
+//! each stock design.
 
+use cobra_bench::timing::Harness;
 use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
 use cobra_core::{designs, BranchKind, SlotResolution};
 use cobra_sim::SplitMix64;
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn roundtrip(bpu: &mut BranchPredictorUnit, rng: &mut SplitMix64, n: usize) {
@@ -32,18 +32,11 @@ fn roundtrip(bpu: &mut BranchPredictorUnit, rng: &mut SplitMix64, n: usize) {
     }
 }
 
-fn bench_designs(crit: &mut Criterion) {
-    let mut g = crit.benchmark_group("bpu_roundtrip");
+fn main() {
+    let mut h = Harness::new("bpu_roundtrip");
     for design in designs::all() {
-        g.bench_function(&design.name, |b| {
-            let mut bpu =
-                BranchPredictorUnit::build(&design, BpuConfig::default()).expect("composes");
-            let mut rng = SplitMix64::new(3);
-            b.iter(|| roundtrip(&mut bpu, &mut rng, 64));
-        });
+        let mut bpu = BranchPredictorUnit::build(&design, BpuConfig::default()).expect("composes");
+        let mut rng = SplitMix64::new(3);
+        h.bench(&design.name, || roundtrip(&mut bpu, &mut rng, 64));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_designs);
-criterion_main!(benches);

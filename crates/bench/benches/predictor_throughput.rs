@@ -1,17 +1,16 @@
-//! Criterion bench: raw query+update throughput of each predictor
-//! sub-component — the simulation-speed axis the paper contrasts against
-//! software simulators.
+//! Bench: raw query+update throughput of each predictor sub-component —
+//! the simulation-speed axis the paper contrasts against software
+//! simulators.
 
+use cobra_bench::timing::Harness;
 use cobra_core::components::{
     Btb, BtbConfig, Gtag, GtagConfig, Hbim, HbimConfig, LoopConfig, LoopPredictor, MicroBtb,
     MicroBtbConfig, Perceptron, PerceptronConfig, Tage, TageConfig, Tourney, TourneyConfig,
 };
 use cobra_core::{
-    BranchKind, Component, HistoryView, PredictQuery, PredictionBundle, SlotResolution,
-    UpdateEvent,
+    BranchKind, Component, HistoryView, PredictQuery, PredictionBundle, SlotResolution, UpdateEvent,
 };
 use cobra_sim::{HistoryRegister, SplitMix64};
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn drive(c: &mut dyn Component, iterations: u64) {
@@ -60,10 +59,13 @@ fn drive(c: &mut dyn Component, iterations: u64) {
 
 type ComponentFactory = Box<dyn Fn() -> Box<dyn Component>>;
 
-fn bench_components(crit: &mut Criterion) {
-    let mut g = crit.benchmark_group("component_predict_update");
+fn main() {
+    let mut h = Harness::new("component_predict_update");
     let cases: Vec<(&str, ComponentFactory)> = vec![
-        ("bim", Box::new(|| Box::new(Hbim::new(HbimConfig::bim(4096, 8))))),
+        (
+            "bim",
+            Box::new(|| Box::new(Hbim::new(HbimConfig::bim(4096, 8)))),
+        ),
         (
             "gshare",
             Box::new(|| Box::new(Hbim::new(HbimConfig::gbim(4096, 12, 8)))),
@@ -74,7 +76,10 @@ fn bench_components(crit: &mut Criterion) {
             Box::new(|| Box::new(MicroBtb::new(MicroBtbConfig::small(8)))),
         ),
         ("gtag", Box::new(|| Box::new(Gtag::new(GtagConfig::b2(8))))),
-        ("tage", Box::new(|| Box::new(Tage::new(TageConfig::paper(8))))),
+        (
+            "tage",
+            Box::new(|| Box::new(Tage::new(TageConfig::paper(8)))),
+        ),
         (
             "loop",
             Box::new(|| Box::new(LoopPredictor::new(LoopConfig::paper(8)))),
@@ -89,13 +94,7 @@ fn bench_components(crit: &mut Criterion) {
         ),
     ];
     for (name, mk) in cases {
-        g.bench_function(name, |b| {
-            let mut c = mk();
-            b.iter(|| drive(c.as_mut(), 100));
-        });
+        let mut c = mk();
+        h.bench(name, || drive(c.as_mut(), 100));
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_components);
-criterion_main!(benches);

@@ -3,10 +3,12 @@
 //! omits ("no statistical corrector"), and a perceptron-based design
 //! (Section III-G: perceptrons "may be implemented similarly").
 
-use cobra_bench::run_one;
+use cobra_bench::runner::{run_grid, Job};
 use cobra_core::designs;
 use cobra_uarch::CoreConfig;
-use cobra_workloads::spec17;
+use cobra_workloads::{spec17, ProgramSpec};
+
+const WORKLOADS: [&str; 5] = ["gcc", "deepsjeng", "leela", "x264", "xz"];
 
 fn main() {
     println!("ABLATION — alternative predictor components (MPKI / IPC)");
@@ -21,16 +23,21 @@ fn main() {
         print!(" {:>18}", d.name);
     }
     println!();
-    for w in ["gcc", "deepsjeng", "leela", "x264", "xz"] {
-        let spec = spec17::spec17(w);
+    let specs: Vec<ProgramSpec> = WORKLOADS.iter().map(|w| spec17::spec17(w)).collect();
+    // Workload-major grid: one row of designs per benchmark.
+    let jobs: Vec<Job<'_>> = specs
+        .iter()
+        .flat_map(|spec| {
+            alt.iter()
+                .map(move |d| Job::new(d, CoreConfig::boom_4wide(), spec))
+        })
+        .collect();
+    let grid = run_grid(&jobs);
+    for (i, w) in WORKLOADS.iter().enumerate() {
         print!("{w:<11}");
-        for d in &alt {
-            let r = run_one(d, CoreConfig::boom_4wide(), &spec);
-            print!(
-                " {:>10.2}/{:>6.3}",
-                r.counters.mpki(),
-                r.counters.ipc()
-            );
+        for d in 0..alt.len() {
+            let r = &grid[i * alt.len() + d].report;
+            print!(" {:>10.2}/{:>6.3}", r.counters.mpki(), r.counters.ipc());
         }
         println!();
     }

@@ -6,7 +6,8 @@
 //! frequently in the same fetch packet … would alias onto the same entry"
 //! of a non-superscalar table.
 
-use cobra_bench::{pct_delta, run_one};
+use cobra_bench::pct_delta;
+use cobra_bench::runner::{run_grid, Job};
 use cobra_core::components::{Btb, BtbConfig, Hbim, HbimConfig};
 use cobra_core::composer::{ComponentRegistry, Design};
 use cobra_uarch::CoreConfig;
@@ -53,9 +54,22 @@ fn main() {
         ("gcc", spec17::spec17("gcc")),
         ("deepsjeng", spec17::spec17("deepsjeng")),
     ];
-    for (w, spec) in specs {
-        let ss = run_one(&bim_design(true), CoreConfig::boom_4wide(), &spec);
-        let pk = run_one(&bim_design(false), CoreConfig::boom_4wide(), &spec);
+    let d_ss = bim_design(true);
+    let d_pk = bim_design(false);
+    // Workload-major pairs: (superscalar, per-packet) per benchmark.
+    let jobs: Vec<Job<'_>> = specs
+        .iter()
+        .flat_map(|(_, spec)| {
+            [
+                Job::new(&d_ss, CoreConfig::boom_4wide(), spec),
+                Job::new(&d_pk, CoreConfig::boom_4wide(), spec),
+            ]
+        })
+        .collect();
+    let grid = run_grid(&jobs);
+    for (i, (w, _)) in specs.iter().enumerate() {
+        let ss = &grid[2 * i].report;
+        let pk = &grid[2 * i + 1].report;
         println!(
             "{:<11} {:>12.2} {:>12.2} {:>9} {:>9.2}% {:>9.2}%",
             w,

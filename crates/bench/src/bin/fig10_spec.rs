@@ -1,27 +1,44 @@
 //! Fig 10: branch MPKI and IPC of the three COBRA-BOOM variants on the
 //! SPECint17 suite, with the commercial-core reference points.
 
-use cobra_bench::{reference, run_one};
-use cobra_core::composer::Design;
-use cobra_core::designs;
+use cobra_bench::reference;
+use cobra_bench::runner::{run_grid, Job};
 use cobra_uarch::{harmonic_mean, CoreConfig, PerfReport};
-use cobra_workloads::spec17;
-
-fn sweep(design: &Design) -> Vec<PerfReport> {
-    spec17::SPEC17_NAMES
-        .iter()
-        .map(|w| run_one(design, CoreConfig::boom_4wide(), &spec17::spec17(w)))
-        .collect()
-}
+use cobra_workloads::{spec17, ProgramSpec};
 
 fn main() {
-    let all_designs = designs::all();
-    let results: Vec<Vec<PerfReport>> = all_designs.iter().map(sweep).collect();
+    let all_designs = cobra_core::designs::all();
+    let specs: Vec<ProgramSpec> = spec17::SPEC17_NAMES
+        .iter()
+        .map(|w| spec17::spec17(w))
+        .collect();
+    // Design-major grid: results[design][bench].
+    let jobs: Vec<Job<'_>> = all_designs
+        .iter()
+        .flat_map(|d| {
+            specs
+                .iter()
+                .map(move |s| Job::new(d, CoreConfig::boom_4wide(), s))
+        })
+        .collect();
+    let grid = run_grid(&jobs);
+    let results: Vec<Vec<PerfReport>> = grid
+        .chunks(specs.len())
+        .map(|row| row.iter().map(|r| r.report.clone()).collect())
+        .collect();
 
     println!("FIG 10 — SPECint17: branch misses per kilo-instruction (MPKI)");
     println!(
         "{:<11} {:>10} {:>10} {:>10}   {:>9} {:>9} {:>9} {:>9} {:>9}",
-        "bench", "Tournament", "B2", "TAGE-L", "pprTourn", "pprB2", "pprTAGEL", "Skylake*", "Gravitn*"
+        "bench",
+        "Tournament",
+        "B2",
+        "TAGE-L",
+        "pprTourn",
+        "pprB2",
+        "pprTAGEL",
+        "Skylake*",
+        "Gravitn*"
     );
     for (i, w) in spec17::SPEC17_NAMES.iter().enumerate() {
         println!(

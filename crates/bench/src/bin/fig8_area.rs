@@ -14,10 +14,8 @@ fn main() {
         let bpu = BranchPredictorUnit::build(&design, BpuConfig::default())
             .expect("stock design composes");
         let comps = bpu.storage_by_component();
-        let mut breakdown = AreaBreakdown::from_reports(
-            &model,
-            comps.iter().map(|(l, r)| (l.clone(), r)),
-        );
+        let mut breakdown =
+            AreaBreakdown::from_reports(&model, comps.iter().map(|(l, r)| (l.clone(), r)));
         let meta = bpu.meta_storage();
         breakdown.push("Meta", model.report_area_um2(&meta));
         let total = breakdown.total_um2();

@@ -2,10 +2,13 @@
 //! path) versus the 3-cycle pipelined TAGE. The paper found no accuracy
 //! impact and ≈1 % IPC degradation.
 
-use cobra_bench::{pct_delta, reference, run_one};
+use cobra_bench::runner::{run_grid, Job};
+use cobra_bench::{pct_delta, reference};
 use cobra_core::designs;
 use cobra_uarch::CoreConfig;
-use cobra_workloads::spec17;
+use cobra_workloads::{spec17, ProgramSpec};
+
+const WORKLOADS: [&str; 5] = ["perlbench", "gcc", "x264", "leela", "xz"];
 
 fn main() {
     println!("SECTION VI-A — TAGE arbitration latency: 2 vs 3 cycles");
@@ -15,11 +18,22 @@ fn main() {
     );
     let d2 = designs::tage_l_with_latency(2);
     let d3 = designs::tage_l_with_latency(3);
+    let specs: Vec<ProgramSpec> = WORKLOADS.iter().map(|w| spec17::spec17(w)).collect();
+    // Workload-major pairs: (2-cycle, 3-cycle) per benchmark.
+    let jobs: Vec<Job<'_>> = specs
+        .iter()
+        .flat_map(|spec| {
+            [
+                Job::new(&d2, CoreConfig::boom_4wide(), spec),
+                Job::new(&d3, CoreConfig::boom_4wide(), spec),
+            ]
+        })
+        .collect();
+    let grid = run_grid(&jobs);
     let mut ipc_deltas = Vec::new();
-    for w in ["perlbench", "gcc", "x264", "leela", "xz"] {
-        let spec = spec17::spec17(w);
-        let r2 = run_one(&d2, CoreConfig::boom_4wide(), &spec);
-        let r3 = run_one(&d3, CoreConfig::boom_4wide(), &spec);
+    for (i, w) in WORKLOADS.iter().enumerate() {
+        let r2 = &grid[2 * i].report;
+        let r3 = &grid[2 * i + 1].report;
         ipc_deltas.push(100.0 * (r3.counters.ipc() - r2.counters.ipc()) / r2.counters.ipc());
         println!(
             "{:<11} {:>9.3} {:>9.3} {:>9} {:>8.2}% {:>8.2}% {:>8.2}",

@@ -3,7 +3,8 @@
 //! paper: CoreMark improves from 4.9 to 6.1 CoreMarks/MHz and branch
 //! accuracy from 97 % to 99.1 % on the TAGE-L core.
 
-use cobra_bench::{pct_delta, reference, run_one};
+use cobra_bench::runner::{run_grid, Job};
+use cobra_bench::{pct_delta, reference};
 use cobra_core::designs;
 use cobra_uarch::CoreConfig;
 use cobra_workloads::kernels;
@@ -14,9 +15,23 @@ fn main() {
         "{:<12} {:>10} {:>10} {:>9} {:>9} {:>9} {:>9}",
         "design", "IPC base", "IPC +SFB", "dIPC", "acc base", "acc +SFB", "MPKIbase"
     );
-    for design in designs::all() {
-        let base = run_one(&design, CoreConfig::boom_4wide(), &kernels::coremark(false));
-        let sfb = run_one(&design, CoreConfig::boom_4wide(), &kernels::coremark(true));
+    let all_designs = designs::all();
+    let base_spec = kernels::coremark(false);
+    let sfb_spec = kernels::coremark(true);
+    // Design-major pairs: (base, +SFB) per design.
+    let jobs: Vec<Job<'_>> = all_designs
+        .iter()
+        .flat_map(|d| {
+            [
+                Job::new(d, CoreConfig::boom_4wide(), &base_spec),
+                Job::new(d, CoreConfig::boom_4wide(), &sfb_spec),
+            ]
+        })
+        .collect();
+    let grid = run_grid(&jobs);
+    for (i, design) in all_designs.iter().enumerate() {
+        let base = &grid[2 * i].report;
+        let sfb = &grid[2 * i + 1].report;
         println!(
             "{:<12} {:>10.3} {:>10.3} {:>9} {:>8.2}% {:>8.2}% {:>9.2}",
             design.name,

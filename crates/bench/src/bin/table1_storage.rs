@@ -29,7 +29,13 @@ fn main() {
             design.name, design.topology, paper, comp_kb
         );
         for (label, r) in bpu.storage_by_component() {
-            println!("{:<12}   {:<40} {:>12} {:>12.2}", "", label, "", r.kilobytes());
+            println!(
+                "{:<12}   {:<40} {:>12} {:>12.2}",
+                "",
+                label,
+                "",
+                r.kilobytes()
+            );
         }
         println!(
             "{:<12}   {:<40} {:>12} {:>12.2}",

@@ -8,10 +8,14 @@
 //! through the full speculating core — and reports the modelling error a
 //! trace methodology would have made.
 
+use cobra_bench::runner::parallel_map;
 use cobra_bench::{run_insts, run_one};
+use cobra_core::composer::Design;
 use cobra_core::designs;
 use cobra_uarch::{CoreConfig, TraceSim};
 use cobra_workloads::spec17;
+
+const WORKLOADS: [&str; 5] = ["perlbench", "gcc", "leela", "x264", "xz"];
 
 fn main() {
     println!("TRACE-DRIVEN vs HARDWARE-IN-THE-LOOP accuracy (cond branches)");
@@ -20,45 +24,52 @@ fn main() {
         "bench", "design", "trace %", "core %", "error"
     );
     let insts = run_insts();
+    let all_designs = designs::all();
+    // Each cell needs a trace run *and* a core run; both are independent
+    // per (bench, design) pair, so fan the pairs out together.
+    let pairs: Vec<(&str, &Design)> = WORKLOADS
+        .iter()
+        .flat_map(|w| all_designs.iter().map(move |d| (*w, d)))
+        .collect();
+    let cells = parallel_map(&pairs, |_, &(w, design)| {
+        let spec = spec17::spec17(w);
+        // Trace-driven: perfect in-order history, no speculation.
+        let mut trace = TraceSim::new(design).expect("composes");
+        let mut stream = spec.build();
+        // Same warm-up discipline as the core runs.
+        trace.run(&mut stream, insts * 2 / 5);
+        let mut sim = TraceSim::new(design).expect("composes");
+        let warm = {
+            // Re-warm a fresh simulator on the same prefix so the
+            // measured region matches the hardware run.
+            let mut s = spec.build();
+            sim.run(&mut s, insts * 2 / 5);
+            let before = *sim.stats();
+            let after = sim.run(&mut s, insts);
+            (before, after)
+        };
+        let trace_acc = {
+            let (before, after) = warm;
+            let cb = after.cond_branches - before.cond_branches;
+            let cm = after.cond_mispredicts - before.cond_mispredicts;
+            if cb == 0 {
+                100.0
+            } else {
+                100.0 * (1.0 - cm as f64 / cb as f64)
+            }
+        };
+        // Hardware-in-the-loop.
+        let hw = run_one(design, CoreConfig::boom_4wide(), &spec);
+        (trace_acc, hw.counters.branch_accuracy())
+    });
     let mut worst: f64 = 0.0;
-    for w in ["perlbench", "gcc", "leela", "x264", "xz"] {
-        for design in designs::all() {
-            let spec = spec17::spec17(w);
-            // Trace-driven: perfect in-order history, no speculation.
-            let mut trace = TraceSim::new(&design).expect("composes");
-            let mut stream = spec.build();
-            // Same warm-up discipline as the core runs.
-            trace.run(&mut stream, insts * 2 / 5);
-            let mut sim = TraceSim::new(&design).expect("composes");
-            let warm = {
-                // Re-warm a fresh simulator on the same prefix so the
-                // measured region matches the hardware run.
-                let mut s = spec.build();
-                sim.run(&mut s, insts * 2 / 5);
-                let before = *sim.stats();
-                let after = sim.run(&mut s, insts);
-                (before, after)
-            };
-            let trace_acc = {
-                let (before, after) = warm;
-                let cb = after.cond_branches - before.cond_branches;
-                let cm = after.cond_mispredicts - before.cond_mispredicts;
-                if cb == 0 {
-                    100.0
-                } else {
-                    100.0 * (1.0 - cm as f64 / cb as f64)
-                }
-            };
-            // Hardware-in-the-loop.
-            let hw = run_one(&design, CoreConfig::boom_4wide(), &spec);
-            let hw_acc = hw.counters.branch_accuracy();
-            let err = trace_acc - hw_acc;
-            worst = worst.max(err.abs());
-            println!(
-                "{:<11} {:<11} {:>9.2}% {:>9.2}% {:>+9.2}",
-                w, design.name, trace_acc, hw_acc, err
-            );
-        }
+    for (&(w, design), &(trace_acc, hw_acc)) in pairs.iter().zip(&cells) {
+        let err = trace_acc - hw_acc;
+        worst = worst.max(err.abs());
+        println!(
+            "{:<11} {:<11} {:>9.2}% {:>9.2}% {:>+9.2}",
+            w, design.name, trace_acc, hw_acc, err
+        );
     }
     println!();
     println!("Positive error = the trace model is optimistic (it misses wrong-path");

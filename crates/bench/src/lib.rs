@@ -31,6 +31,8 @@
 #![warn(missing_docs)]
 
 pub mod reference;
+pub mod runner;
+pub mod timing;
 
 use cobra_core::composer::Design;
 use cobra_uarch::{Core, CoreConfig, PerfReport};
@@ -38,11 +40,28 @@ use cobra_workloads::ProgramSpec;
 
 /// Instructions per measured run (the `COBRA_INSTS` environment variable,
 /// default 500 000).
+///
+/// An unparsable value falls back to the default with a one-time warning
+/// on stderr (it used to be swallowed silently); `0` is clamped to 1 so
+/// the warm-up fraction math cannot go degenerate.
 pub fn run_insts() -> u64 {
-    std::env::var("COBRA_INSTS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(500_000)
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let n = match std::env::var("COBRA_INSTS") {
+        Ok(v) => match v.trim().parse::<u64>() {
+            Ok(n) => n,
+            Err(_) => {
+                WARNED.call_once(|| {
+                    eprintln!(
+                        "warning: COBRA_INSTS={v:?} is not a number; \
+                         using the default of 500000"
+                    );
+                });
+                500_000
+            }
+        },
+        Err(_) => 500_000,
+    };
+    n.max(1)
 }
 
 /// Builds a core for `design` and `spec`, runs warm-up plus a measured
@@ -55,8 +74,7 @@ pub fn run_insts() -> u64 {
 pub fn run_one(design: &Design, cfg: CoreConfig, spec: &ProgramSpec) -> PerfReport {
     let measure = run_insts();
     let warmup = measure * 2 / 5;
-    let mut core =
-        Core::new(design, cfg, spec.build()).expect("stock designs always compose");
+    let mut core = Core::new(design, cfg, spec.build()).expect("stock designs always compose");
     core.run_with_warmup(warmup, measure, &spec.name)
 }
 

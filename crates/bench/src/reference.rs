@@ -9,13 +9,11 @@ pub const TABLE1_STORAGE_KB: [(&str, f64); 3] =
 /// figure for the three COBRA-BOOM variants, per benchmark
 /// (perlbench, gcc, mcf, omnetpp, xalancbmk, x264, deepsjeng, leela,
 /// exchange2, xz).
-pub const FIG10_MPKI_TAGE_L: [f64; 10] =
-    [2.0, 5.0, 12.0, 5.0, 2.0, 1.0, 6.5, 12.5, 1.5, 6.0];
+pub const FIG10_MPKI_TAGE_L: [f64; 10] = [2.0, 5.0, 12.0, 5.0, 2.0, 1.0, 6.5, 12.5, 1.5, 6.0];
 /// B2 reference MPKI series (see [`FIG10_MPKI_TAGE_L`]).
 pub const FIG10_MPKI_B2: [f64; 10] = [4.5, 9.0, 16.0, 8.0, 4.0, 2.5, 10.0, 17.0, 3.5, 8.0];
 /// Tournament reference MPKI series (see [`FIG10_MPKI_TAGE_L`]).
-pub const FIG10_MPKI_TOURNAMENT: [f64; 10] =
-    [6.0, 11.0, 16.5, 9.0, 5.5, 3.0, 11.0, 18.0, 4.0, 8.5];
+pub const FIG10_MPKI_TOURNAMENT: [f64; 10] = [6.0, 11.0, 16.5, 9.0, 5.5, 3.0, 11.0, 18.0, 4.0, 8.5];
 
 /// Fig 10 commercial-core reference points (approximate): MPKI and IPC for
 /// Intel Skylake and AWS Graviton on the same suite. The paper notes the

@@ -1,0 +1,251 @@
+//! The parallel experiment runner.
+//!
+//! Every harness binary that reproduces a paper table or figure runs a
+//! (design × workload) grid of independent simulations — embarrassingly
+//! parallel work the paper itself distributes across FireSim FPGA
+//! instances (Section V). This module fans the grid out across OS threads:
+//!
+//! * [`parallel_map`] — deterministic-order parallel map over a slice,
+//!   using [`std::thread::scope`] plus an atomic work-queue index (no
+//!   external dependencies);
+//! * [`run_grid`] — the simulation-shaped convenience: a slice of
+//!   [`Job`]s in, a [`JobResult`] per job out (same order), each with the
+//!   [`PerfReport`], its wall-clock time, and simulated MIPS.
+//!
+//! Thread count comes from the `COBRA_THREADS` environment variable
+//! (default: available hardware parallelism). Results are returned in job
+//! order regardless of completion order, and each job is a fully
+//! independent seeded simulation, so the printed report rows are
+//! byte-identical whatever the thread count — the determinism test in
+//! `tests/` enforces exactly that.
+//!
+//! Per-job progress and the end-of-grid throughput summary go to stderr,
+//! keeping stdout (the tables the binaries exist to print) stable for
+//! diffing against `results/`.
+
+use crate::run_one;
+use cobra_core::composer::Design;
+use cobra_uarch::{CoreConfig, PerfReport};
+use cobra_workloads::ProgramSpec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Worker threads to use: `COBRA_THREADS` if set (clamped to ≥ 1), else
+/// the machine's available parallelism.
+pub fn threads() -> usize {
+    match std::env::var("COBRA_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(1),
+            Err(_) => {
+                eprintln!(
+                    "[runner] warning: COBRA_THREADS={v:?} is not a number; \
+                     using available parallelism"
+                );
+                default_threads()
+            }
+        },
+        Err(_) => default_threads(),
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item of `items` across `threads` OS threads,
+/// returning the results in item order regardless of completion order.
+///
+/// Work is distributed through a shared atomic index (a lock-free work
+/// queue), so long and short jobs interleave without static partitioning
+/// imbalance. With `threads <= 1` the map runs inline on the calling
+/// thread — bit-identical results either way, as long as `f` itself is
+/// deterministic per item.
+///
+/// # Panics
+///
+/// Propagates a panic from any worker once all threads have joined.
+pub fn parallel_map_on<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("every index was claimed and completed")
+        })
+        .collect()
+}
+
+/// [`parallel_map_on`] with the [`threads`] default.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    parallel_map_on(threads(), items, f)
+}
+
+/// One cell of an experiment grid: a design, a core configuration, and a
+/// workload.
+pub struct Job<'a> {
+    /// The predictor design to compose.
+    pub design: &'a Design,
+    /// Host-core configuration.
+    pub cfg: CoreConfig,
+    /// The workload to run.
+    pub spec: &'a ProgramSpec,
+}
+
+impl<'a> Job<'a> {
+    /// A job with the stock 4-wide BOOM configuration.
+    pub fn new(design: &'a Design, cfg: CoreConfig, spec: &'a ProgramSpec) -> Self {
+        Self { design, cfg, spec }
+    }
+
+    fn label(&self) -> String {
+        format!("{}/{}", self.design.name, self.spec.name)
+    }
+}
+
+/// The outcome of one grid job.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The measured-region performance report.
+    pub report: PerfReport,
+    /// Wall-clock time of the whole job (warm-up + measured region).
+    pub wall: Duration,
+}
+
+impl JobResult {
+    /// Simulated millions of instructions per wall-clock second, counting
+    /// the measured region's committed instructions against the whole
+    /// job's wall time (warm-up included) — a conservative throughput
+    /// figure for capacity planning.
+    pub fn mips(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.report.counters.committed_insts as f64 / secs / 1e6
+    }
+}
+
+/// Runs `jobs` on `threads` worker threads. Results come back in job
+/// order; each row is bit-identical to what a serial loop over
+/// [`run_one`] would produce.
+pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
+    let total = jobs.len();
+    let started = Instant::now();
+    let done = AtomicUsize::new(0);
+    let results = parallel_map_on(threads, jobs, |_, job| {
+        let t = Instant::now();
+        let report = run_one(job.design, job.cfg, job.spec);
+        let r = JobResult {
+            report,
+            wall: t.elapsed(),
+        };
+        let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        eprintln!(
+            "[runner] {n}/{total} {:<28} {:>7.2}s {:>7.2} MIPS",
+            job.label(),
+            r.wall.as_secs_f64(),
+            r.mips()
+        );
+        r
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let insts: u64 = results
+        .iter()
+        .map(|r| r.report.counters.committed_insts)
+        .sum();
+    // Summed per-job wall clock, not CPU time: when threads oversubscribe
+    // the cores, a job's wall includes time spent descheduled.
+    let job_secs: f64 = results.iter().map(|r| r.wall.as_secs_f64()).sum();
+    eprintln!(
+        "[runner] grid done: {total} jobs on {} thread(s), {wall:.2}s wall \
+         ({job_secs:.2} job-seconds, {:.2} aggregate MIPS)",
+        threads.clamp(1, total.max(1)),
+        if wall > 0.0 {
+            insts as f64 / wall / 1e6
+        } else {
+            0.0
+        }
+    );
+    results
+}
+
+/// [`run_grid_on`] with the [`threads`] default — what the harness
+/// binaries call.
+pub fn run_grid(jobs: &[Job<'_>]) -> Vec<JobResult> {
+    run_grid_on(threads(), jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = parallel_map_on(4, &items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_single_thread_inline() {
+        let items = vec![1, 2, 3];
+        let out = parallel_map_on(1, &items, |_, &x| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn parallel_map_empty() {
+        let items: Vec<u32> = vec![];
+        let out = parallel_map_on(8, &items, |_, &x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let items: Vec<u64> = (0..64).collect();
+        let serial = parallel_map_on(1, &items, |i, &x| x.wrapping_mul(i as u64 + 7));
+        let parallel = parallel_map_on(8, &items, |i, &x| x.wrapping_mul(i as u64 + 7));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn thread_env_parsing_clamps() {
+        // Cannot mutate the environment safely in parallel tests; exercise
+        // only the default path.
+        assert!(threads() >= 1);
+    }
+}

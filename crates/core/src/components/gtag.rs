@@ -82,12 +82,14 @@ impl Gtag {
     pub fn new(cfg: GtagConfig) -> Self {
         assert!(bits::is_pow2(cfg.entries), "entries must be a power of two");
         assert!(cfg.latency >= 2, "history users need latency >= 2");
-        let entry_bits = 1
-            + cfg.tag_bits as u64
-            + cfg.width as u64 * cfg.counter_bits as u64
-            + 2;
+        let entry_bits = 1 + cfg.tag_bits as u64 + cfg.width as u64 * cfg.counter_bits as u64 + 2;
         Self {
-            table: SramModel::new(cfg.entries, entry_bits, PortKind::DualPort, GtagEntry::default()),
+            table: SramModel::new(
+                cfg.entries,
+                entry_bits,
+                PortKind::DualPort,
+                GtagEntry::default(),
+            ),
             cfg,
         }
     }
@@ -161,8 +163,7 @@ impl Component for Gtag {
                 for i in 0..q.width as usize {
                     let c = self.counter(e.ctrs[i]);
                     pred.slot_mut(i).taken = Some(c.is_taken());
-                    meta |= (e.ctrs[i] as u64)
-                        << (1 + i as u32 * self.cfg.counter_bits as u32);
+                    meta |= (e.ctrs[i] as u64) << (1 + i as u32 * self.cfg.counter_bits as u32);
                 }
             }
         }
@@ -263,7 +264,11 @@ mod tests {
             meta,
             pred: &pred,
             resolutions: res,
-            mispredicted_slot: if mispredicted { Some(res[0].slot) } else { None },
+            mispredicted_slot: if mispredicted {
+                Some(res[0].slot)
+            } else {
+                None
+            },
         });
     }
 

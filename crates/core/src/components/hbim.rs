@@ -227,9 +227,7 @@ impl Hbim {
             IndexScheme::LocalHistory { bits: h } => {
                 bits::xor_fold(lhist & bits::mask(h), n) ^ (pc_part & 0x7)
             }
-            IndexScheme::PathHash { bits: h } => {
-                pc_part ^ bits::xor_fold(phist & bits::mask(h), n)
-            }
+            IndexScheme::PathHash { bits: h } => pc_part ^ bits::xor_fold(phist & bits::mask(h), n),
         };
         raw & bits::mask(n)
     }

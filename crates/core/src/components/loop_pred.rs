@@ -131,12 +131,7 @@ impl Component for LoopPredictor {
     fn storage(&self) -> StorageReport {
         // The loop table needs query-time update and repair alongside
         // prediction: a 2R1W macro.
-        let entry_bits = 1
-            + self.cfg.tag_bits as u64
-            + 3
-            + 3 * self.cfg.iter_bits as u64
-            + 3
-            + 8;
+        let entry_bits = 1 + self.cfg.tag_bits as u64 + 3 + 3 * self.cfg.iter_bits as u64 + 3 + 8;
         let mut r = StorageReport::new();
         r.add_sram(
             "loop-table",

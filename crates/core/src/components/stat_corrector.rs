@@ -94,7 +94,13 @@ impl StatisticalCorrector {
         &self.cfg
     }
 
-    fn index(&self, t: usize, slot: usize, slot_pc: u64, ghist: &cobra_sim::HistoryRegister) -> u64 {
+    fn index(
+        &self,
+        t: usize,
+        slot: usize,
+        slot_pc: u64,
+        ghist: &cobra_sim::HistoryRegister,
+    ) -> u64 {
         let rows = self.cfg.entries / self.cfg.width as u64;
         let n = bits::clog2(rows);
         let hl = self.cfg.hist_lengths[t].min(ghist.width());

@@ -122,7 +122,10 @@ impl Tage {
             cfg.hist_lengths.len(),
             "per-table parameter vectors must agree"
         );
-        assert!(!cfg.hist_lengths.is_empty(), "TAGE needs at least one table");
+        assert!(
+            !cfg.hist_lengths.is_empty(),
+            "TAGE needs at least one table"
+        );
         assert!(
             cfg.hist_lengths.windows(2).all(|w| w[0] < w[1]),
             "history lengths must strictly increase"
@@ -353,8 +356,7 @@ impl Component for Tage {
 
                 // Train the use_alt_on_na chooser when the provider entry
                 // was newly allocated and the predictions disagreed.
-                if prov_u == 0 && self.weak(stored_ctr) && alt_valid && alt_taken != prov_taken
-                {
+                if prov_u == 0 && self.weak(stored_ctr) && alt_valid && alt_taken != prov_taken {
                     self.use_alt_on_na.train(alt_taken == outcome);
                 }
 
@@ -403,10 +405,8 @@ impl Component for Tage {
                             let mut ne = TageEntry {
                                 valid: true,
                                 tag: self.tag(t, ev.pc, ghist),
-                                ctrs: [SaturatingCounter::weakly_not_taken(
-                                    self.cfg.counter_bits,
-                                )
-                                .value();
+                                ctrs: [SaturatingCounter::weakly_not_taken(self.cfg.counter_bits)
+                                    .value();
                                     MAX_FETCH_WIDTH],
                                 useful: 0,
                             };

@@ -73,7 +73,12 @@ impl Tourney {
         assert!(cfg.latency >= 2, "the chooser reads history: latency >= 2");
         let init = SaturatingCounter::weakly_not_taken(cfg.counter_bits).value();
         Self {
-            chooser: SramModel::new(cfg.entries, cfg.counter_bits as u64, PortKind::DualPort, init),
+            chooser: SramModel::new(
+                cfg.entries,
+                cfg.counter_bits as u64,
+                PortKind::DualPort,
+                init,
+            ),
             cfg,
         }
     }

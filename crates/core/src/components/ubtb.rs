@@ -81,9 +81,7 @@ impl MicroBtb {
     }
 
     fn find(&self, slot_pc: u64) -> Option<usize> {
-        self.entries
-            .iter()
-            .position(|e| e.valid && e.pc == slot_pc)
+        self.entries.iter().position(|e| e.valid && e.pc == slot_pc)
     }
 
     fn meta_shift(slot: usize) -> u32 {

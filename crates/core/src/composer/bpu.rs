@@ -37,13 +37,14 @@
 
 use crate::composer::history_file::{pack_bits, EntryPhase, HistoryFile, HistoryFileEntry};
 use crate::composer::pipeline::PredictorPipeline;
-use crate::composer::providers::{GlobalHistoryProvider, LocalHistoryProvider, PathHistoryProvider};
+use crate::composer::providers::{
+    GlobalHistoryProvider, LocalHistoryProvider, PathHistoryProvider,
+};
 use crate::composer::registry::Design;
 use crate::error::ComposeError;
 use crate::iface::{HistoryView, SlotResolution, UpdateEvent};
 use crate::types::{BranchKind, PredictionBundle, StorageReport, SLOT_BYTES};
-use cobra_sim::HistoryRegister;
-use std::collections::BTreeMap;
+use cobra_sim::{HistoryRegister, TokenSlab};
 
 /// Identifies an in-flight fetch packet (its history-file token).
 pub type PacketId = u64;
@@ -131,7 +132,9 @@ pub struct BranchPredictorUnit {
     cfg: BpuConfig,
     cycle: u64,
     /// Transient per-packet stage bundles (pipeline registers in hardware).
-    stage_bundles: BTreeMap<PacketId, Vec<PredictionBundle>>,
+    /// Keyed by the sequential history-file token, whose live window is
+    /// bounded by `cfg.history_file_entries`.
+    stage_bundles: TokenSlab<Vec<PredictionBundle>>,
     scratch_hist: HistoryRegister,
     stats: BpuStats,
     /// Cycles of repair-walk work queued by the last mispredict.
@@ -171,7 +174,7 @@ impl BranchPredictorUnit {
             hf,
             cfg,
             cycle: 0,
-            stage_bundles: BTreeMap::new(),
+            stage_bundles: TokenSlab::new(cfg.history_file_entries),
             stats: BpuStats::default(),
             last_repair_cycles: 0,
             design_name: design.name.clone(),
@@ -243,7 +246,7 @@ impl BranchPredictorUnit {
             lhist: lhist_query,
             phist: phist_query,
         };
-        let out = self
+        let crate::composer::pipeline::PacketPrediction { stages, metas } = self
             .pipeline
             .predict_packet_width(self.cycle, pc, width, &hist);
         let entry = HistoryFileEntry {
@@ -253,8 +256,8 @@ impl BranchPredictorUnit {
             lhist_query,
             lhist_old: 0,
             phist: phist_query,
-            metas: out.metas.clone(),
-            pred: out.stages[0],
+            metas,
+            pred: stages[0],
             spec_bits: (0, 0),
             resolutions: Vec::new(),
             mispredicted_slot: None,
@@ -264,7 +267,7 @@ impl BranchPredictorUnit {
             Ok(t) => t,
             Err(_) => unreachable!("fullness checked above"),
         };
-        self.stage_bundles.insert(token, out.stages);
+        self.stage_bundles.insert(token, stages);
         self.stats.queries += 1;
         Some(token)
     }
@@ -277,9 +280,7 @@ impl BranchPredictorUnit {
             (1..=self.depth()).contains(&stage),
             "stage out of range 1..=depth"
         );
-        self.stage_bundles
-            .get(&id)
-            .map(|v| &v[stage as usize - 1])
+        self.stage_bundles.get(id).map(|v| &v[stage as usize - 1])
     }
 
     /// The frontend commits to steering fetch with packet `id`'s
@@ -307,26 +308,27 @@ impl BranchPredictorUnit {
     /// corrected history while their own (now stale) predictions stand —
     /// the paper's original, non-replaying design.
     pub fn revise(&mut self, id: PacketId, bundle: &PredictionBundle, squash_younger: bool) {
-        let Some(e) = self.hf.get(id) else { return };
-        let snapshot = e.ghist.clone();
+        if self.hf.get(id).is_none() {
+            return;
+        }
         let new_bits = pack_bits(bundle.history_bits());
         self.stats.revisions += 1;
         if squash_younger {
             self.squash_younger_with_repair(id);
         }
-        {
-            let e = self.hf.get_mut(id).expect("entry is live");
-            e.spec_bits = new_bits;
-            e.pred = *bundle;
-        }
+        let e = self.hf.get_mut(id).expect("entry is live");
+        e.spec_bits = new_bits;
+        e.pred = *bundle;
         // Rebuild the speculative history: this packet's snapshot, its
         // corrected bits, then surviving younger packets' contributions.
-        self.ghist
-            .rewind_to(&snapshot, (0..new_bits.1).map(|i| (new_bits.0 >> i) & 1 == 1));
-        for t in self.hf.younger_than(id) {
+        let e = self.hf.get(id).expect("entry is live");
+        self.ghist.rewind_to(
+            &e.ghist,
+            (0..new_bits.1).map(|i| (new_bits.0 >> i) & 1 == 1),
+        );
+        for t in self.hf.younger_range(id) {
             if let Some(y) = self.hf.get(t) {
-                let bits: Vec<bool> = y.spec_bit_iter().collect();
-                self.ghist.speculate(bits);
+                self.ghist.speculate(y.spec_bit_iter());
             }
         }
     }
@@ -353,33 +355,30 @@ impl BranchPredictorUnit {
         let snapshot = e.ghist.clone();
         self.squash_younger_with_repair(id);
         self.repair_one(id);
-        // Remove `id` itself: squash_after keeps it, so pop via truncation.
-        let removed = self.hf.squash_after(id.wrapping_sub(1).min(id));
-        debug_assert!(removed.len() <= 1 || id == 0);
+        // Remove `id` itself: discard_after keeps it, so pop via truncation.
         if id == 0 {
-            // Token 0 cannot use squash_after(id-1); clear instead.
-            self.hf.squash_all();
+            // Token 0 cannot use discard_after(id-1); clear instead.
+            self.hf.discard_all();
             self.stage_bundles.clear();
         } else {
-            self.stage_bundles.remove(&id);
+            let removed = self.hf.discard_after(id - 1);
+            debug_assert!(removed <= 1);
+            self.stage_bundles.remove(id);
         }
         self.ghist.rewind_to(&snapshot, []);
     }
 
     fn repair_one(&mut self, id: PacketId) {
         let Some(e) = self.hf.get(id) else { return };
-        let (pc, metas, pred, lhist_q) = (e.pc, e.metas.clone(), e.pred, e.lhist_query);
-        let accepted = e.phase == EntryPhase::Accepted;
-        let (lhist_old, phist_q) = (e.lhist_old, e.phist);
         self.scratch_hist.restore(&e.ghist);
         let hist = HistoryView {
             ghist: &self.scratch_hist,
-            lhist: lhist_q,
-            phist: phist_q,
+            lhist: e.lhist_query,
+            phist: e.phist,
         };
-        self.pipeline.repair(pc, &hist, &metas, &pred);
-        if accepted {
-            self.lhist.repair(pc, lhist_old, []);
+        self.pipeline.repair(e.pc, &hist, &e.metas, &e.pred);
+        if e.phase == EntryPhase::Accepted {
+            self.lhist.repair(e.pc, e.lhist_old, []);
         }
         self.stats.repair_entries += 1;
     }
@@ -388,15 +387,15 @@ impl BranchPredictorUnit {
     /// so snapshot-style restores converge on the oldest pre-state), and
     /// records the repair-FSM busy time.
     fn squash_younger_with_repair(&mut self, keep: PacketId) {
-        let victims = self.hf.younger_than(keep);
-        for &t in victims.iter().rev() {
+        let victims = self.hf.younger_range(keep);
+        let count = victims.end.saturating_sub(victims.start);
+        for t in victims.rev() {
             self.repair_one(t);
-            self.stage_bundles.remove(&t);
+            self.stage_bundles.remove(t);
         }
-        let removed = self.hf.squash_after(keep);
-        debug_assert_eq!(removed.len(), victims.len());
-        self.last_repair_cycles =
-            (victims.len() as u64).div_ceil(self.cfg.repair_width.max(1) as u64);
+        let removed = self.hf.discard_after(keep);
+        debug_assert_eq!(removed as u64, count);
+        self.last_repair_cycles = count.div_ceil(self.cfg.repair_width.max(1) as u64);
     }
 
     /// The packet leaves the fetch pipeline with its final,
@@ -411,25 +410,21 @@ impl BranchPredictorUnit {
         debug_assert_eq!(e.phase, EntryPhase::Fetching, "double accept");
         e.phase = EntryPhase::Accepted;
         e.pred = bundle;
-        let (pc, metas, lhist_q, phist_q) = (e.pc, e.metas.clone(), e.lhist_query, e.phist);
-        let snapshot = e.ghist.clone();
-        let bits: Vec<bool> = bundle.history_bits().collect();
-        let lhist_old = self.lhist.speculate(pc, bits);
-        if let Some(e) = self.hf.get_mut(id) {
-            e.lhist_old = lhist_old;
-        }
+        let pc = e.pc;
+        e.lhist_old = self.lhist.speculate(pc, bundle.history_bits());
         // Path history advances with the packet's taken redirection.
         if let Some((_, target)) = bundle.redirect() {
             self.phist.speculate(target);
         }
-        self.scratch_hist.restore(&snapshot);
+        let e = self.hf.get(id).expect("entry is live");
+        self.scratch_hist.restore(&e.ghist);
         let hist = HistoryView {
             ghist: &self.scratch_hist,
-            lhist: lhist_q,
-            phist: phist_q,
+            lhist: e.lhist_query,
+            phist: e.phist,
         };
-        self.pipeline.fire(pc, &hist, &metas, &bundle);
-        self.stage_bundles.remove(&id);
+        self.pipeline.fire(pc, &hist, &e.metas, &bundle);
+        self.stage_bundles.remove(id);
         self.stats.accepts += 1;
     }
 
@@ -476,19 +471,10 @@ impl BranchPredictorUnit {
         // Rewind the global history to this packet's fetch state plus the
         // corrected outcomes up to and including the mispredicted slot.
         let e = self.hf.get(id).expect("live");
-        let snapshot = e.ghist.clone();
         let corrected = corrected_history_bits(e, res.slot);
-        let (pc, metas, pred, lhist_q, lhist_old, phist_q) = (
-            e.pc,
-            e.metas.clone(),
-            e.pred,
-            e.lhist_query,
-            e.lhist_old,
-            e.phist,
-        );
+        let (pc, lhist_q, lhist_old, phist_q) = (e.pc, e.lhist_query, e.lhist_old, e.phist);
         let accepted = e.phase == EntryPhase::Accepted;
-        let resolutions = e.resolutions.clone();
-        self.ghist.rewind_to(&snapshot, corrected.iter().copied());
+        self.ghist.rewind_to(&e.ghist, corrected.iter().copied());
         // Rewind the path history to this packet's fetch state and push the
         // resolved redirection.
         self.phist.restore(phist_q);
@@ -503,7 +489,8 @@ impl BranchPredictorUnit {
         }
 
         // Fast mispredict update to the components.
-        self.scratch_hist.restore(&snapshot);
+        let e = self.hf.get(id).expect("live");
+        self.scratch_hist.restore(&e.ghist);
         let hist = HistoryView {
             ghist: &self.scratch_hist,
             lhist: lhist_q,
@@ -511,14 +498,14 @@ impl BranchPredictorUnit {
         };
         let ev = UpdateEvent {
             pc,
-            width: pred.width(),
+            width: e.pred.width(),
             hist,
             meta: crate::types::Meta::ZERO,
-            pred: &pred,
-            resolutions: &resolutions,
+            pred: &e.pred,
+            resolutions: &e.resolutions,
             mispredicted_slot: Some(res.slot),
         };
-        self.pipeline.mispredict(&ev, &metas);
+        self.pipeline.mispredict(&ev, &e.metas);
 
         Some(if res.taken {
             res.target
@@ -574,11 +561,10 @@ impl BranchPredictorUnit {
             let front_entry = self.hf.get(front).expect("front is live");
             let snapshot = front_entry.ghist.clone();
             let phist_q = front_entry.phist;
-            let live = self.hf.live();
-            for &t in live.iter().rev() {
+            for t in self.hf.live_range().rev() {
                 self.repair_one(t);
             }
-            self.hf.squash_all();
+            self.hf.discard_all();
             self.stage_bundles.clear();
             self.ghist.rewind_to(&snapshot, []);
             self.phist.restore(phist_q);
@@ -661,8 +647,7 @@ fn corrected_history_bits(e: &HistoryFileEntry, mispredicted_slot: u8) -> Vec<bo
     let mut out = Vec::new();
     for i in 0..=mispredicted_slot.min(e.pred.width() - 1) {
         if e.pred.slot(i as usize).kind == Some(BranchKind::Conditional)
-            || e
-                .resolutions
+            || e.resolutions
                 .iter()
                 .any(|r| r.slot == i && r.kind == BranchKind::Conditional)
         {
@@ -790,7 +775,7 @@ mod tests {
         let mut bpu = build(&d);
         let a = bpu.query(0x1000).unwrap();
         bpu.speculate(a, 1); // cold: no predicted branches, no bits
-        // Predecode discovers a not-taken conditional branch at slot 0.
+                             // Predecode discovers a not-taken conditional branch at slot 0.
         let mut corrected = *bpu.prediction(a, 3).unwrap();
         corrected.slot_mut(0).kind = Some(BranchKind::Conditional);
         corrected.slot_mut(0).taken = Some(false);

@@ -152,15 +152,44 @@ impl HistoryFile {
 
     /// Tokens of live entries strictly younger than `token`, oldest first.
     pub fn younger_than(&self, token: u64) -> Vec<u64> {
-        self.entries
-            .live_tokens()
-            .filter(|&t| t > token)
-            .collect()
+        self.entries.live_tokens().filter(|&t| t > token).collect()
     }
 
     /// All live tokens, oldest first.
     pub fn live(&self) -> Vec<u64> {
         self.entries.live_tokens().collect()
+    }
+
+    /// All live tokens, oldest first, as an allocation-free range (every
+    /// token in the range is live — the underlying ring is contiguous).
+    pub fn live_range(&self) -> std::ops::Range<u64> {
+        self.entries.live_tokens()
+    }
+
+    /// Live tokens strictly younger than `token`, oldest first, as an
+    /// allocation-free range.
+    pub fn younger_range(&self, token: u64) -> std::ops::Range<u64> {
+        let live = self.entries.live_tokens();
+        live.start.max(token.saturating_add(1))..live.end
+    }
+
+    /// Removes every entry younger than `token` without cloning the
+    /// victims (the hot-path squash: callers walk [`Self::younger_range`]
+    /// first if they need the entries). Returns how many were removed.
+    pub fn discard_after(&mut self, token: u64) -> usize {
+        let n = self.younger_range(token).count();
+        if n > 0 {
+            self.entries.squash_after(token);
+        }
+        n
+    }
+
+    /// Removes every live entry without cloning (full pipeline flush).
+    /// Returns how many were removed.
+    pub fn discard_all(&mut self) -> usize {
+        let n = self.entries.len();
+        self.entries.clear();
+        n
     }
 
     /// Removes every entry younger than `token` (the squash after a
@@ -179,11 +208,8 @@ impl HistoryFile {
 
     /// Removes every live entry (full pipeline flush), youngest first.
     pub fn squash_all(&mut self) -> Vec<HistoryFileEntry> {
-        let mut removed: Vec<HistoryFileEntry> = self
-            .entries
-            .iter()
-            .map(|(_, e)| e.clone())
-            .collect();
+        let mut removed: Vec<HistoryFileEntry> =
+            self.entries.iter().map(|(_, e)| e.clone()).collect();
         self.entries.clear();
         removed.reverse();
         removed

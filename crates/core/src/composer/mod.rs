@@ -24,7 +24,9 @@ mod providers;
 mod registry;
 mod topology;
 
-pub use bpu::{BpuConfig, BpuStats, BranchPredictorUnit, CommittedPacket, GhistRepairMode, PacketId};
+pub use bpu::{
+    BpuConfig, BpuStats, BranchPredictorUnit, CommittedPacket, GhistRepairMode, PacketId,
+};
 pub use history_file::{HistoryFile, HistoryFileEntry};
 pub use pipeline::{PacketPrediction, PredictorPipeline, StageDescription};
 pub use providers::{GlobalHistoryProvider, LocalHistoryProvider, PathHistoryProvider};

@@ -299,8 +299,7 @@ impl PredictorPipeline {
             // Nodes are stored in dataflow order, so a single pass works.
             for i in 0..n {
                 let node = &self.nodes[i];
-                let inputs: Vec<PredictionBundle> =
-                    node.inputs.iter().map(|&j| outs[j]).collect();
+                let inputs: Vec<PredictionBundle> = node.inputs.iter().map(|&j| outs[j]).collect();
                 let own = (node.component.latency() <= d).then(|| &responses[i]);
                 outs[i] = node.component.compose(width, own, &inputs);
                 if node.component.latency() == d && !meta_done[i] {
@@ -314,7 +313,13 @@ impl PredictorPipeline {
     }
 
     /// Broadcasts a `fire` event; each component receives its own metadata.
-    pub fn fire(&mut self, pc: u64, hist: &HistoryView<'_>, metas: &[Meta], pred: &PredictionBundle) {
+    pub fn fire(
+        &mut self,
+        pc: u64,
+        hist: &HistoryView<'_>,
+        metas: &[Meta],
+        pred: &PredictionBundle,
+    ) {
         for (node, &meta) in self.nodes.iter_mut().zip(metas) {
             node.component.fire(&FireEvent {
                 pc,

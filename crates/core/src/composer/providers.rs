@@ -49,11 +49,7 @@ impl GlobalHistoryProvider {
     }
 
     /// Restores a snapshot (repair), then pushes corrected outcomes.
-    pub fn rewind_to(
-        &mut self,
-        snap: &HistorySnapshot,
-        corrected: impl IntoIterator<Item = bool>,
-    ) {
+    pub fn rewind_to(&mut self, snap: &HistorySnapshot, corrected: impl IntoIterator<Item = bool>) {
         self.spec.restore(snap);
         self.spec.push_all(corrected);
     }

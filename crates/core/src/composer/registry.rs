@@ -123,9 +123,7 @@ mod tests {
     #[test]
     fn reregistering_replaces() {
         let mut r = registry_with_bim();
-        r.register("BIM2", |w| {
-            Box::new(Hbim::new(HbimConfig::bim(4096, w)))
-        });
+        r.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(4096, w))));
         let c = r.build("BIM2", 4).unwrap();
         assert_eq!(c.storage().total_bits(), 4096 * 2);
         assert_eq!(r.len(), 1);

@@ -138,9 +138,8 @@ pub fn tage_sc_l() -> Design {
 pub fn tage_l_it() -> Design {
     use crate::components::{Ittage, IttageConfig};
     let mut d = tage_l();
-    d.registry.register("ITTAGE3", |w| {
-        Box::new(Ittage::new(IttageConfig::small(w)))
-    });
+    d.registry
+        .register("ITTAGE3", |w| Box::new(Ittage::new(IttageConfig::small(w))));
     d.topology = "ITTAGE3 > LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1".into();
     d.name = "TAGE-L+IT".into();
     d
@@ -214,7 +213,10 @@ mod tests {
         let t = size(&tournament());
         let b = size(&b2());
         let l = size(&tage_l());
-        assert!(l > t && l > b, "TAGE-L must be the largest: {l} vs {t}, {b}");
+        assert!(
+            l > t && l > b,
+            "TAGE-L must be the largest: {l} vs {t}, {b}"
+        );
     }
 
     #[test]

@@ -308,7 +308,11 @@ mod tests {
         below.slot_mut(2).target = Some(0x44);
         let out = c.compose(4, Some(&resp), &[below]);
         assert_eq!(out.slot(2).taken, Some(true), "own direction overrides");
-        assert_eq!(out.slot(2).target, Some(0x44), "input target passes through");
+        assert_eq!(
+            out.slot(2).target,
+            Some(0x44),
+            "input target passes through"
+        );
     }
 
     #[test]

@@ -199,15 +199,9 @@ impl PredictionBundle {
     /// The slot index after which nothing executes: the first slot that
     /// wants to redirect (with or without a known target).
     pub fn cutoff(&self) -> Option<usize> {
-        self.iter().enumerate().find_map(
-            |(i, s)| {
-                if s.wants_redirect() {
-                    Some(i)
-                } else {
-                    None
-                }
-            },
-        )
+        self.iter()
+            .enumerate()
+            .find_map(|(i, s)| if s.wants_redirect() { Some(i) } else { None })
     }
 
     /// The global-history contribution of this bundle: one `bool` per slot

@@ -201,7 +201,10 @@ mod tests {
     fn train_hysteresis() {
         let mut c = SaturatingCounter::new(2, 3);
         c.train(false);
-        assert!(c.is_taken(), "one bad outcome must not flip a strong counter");
+        assert!(
+            c.is_taken(),
+            "one bad outcome must not flip a strong counter"
+        );
         c.train(false);
         assert!(!c.is_taken());
     }

@@ -18,6 +18,8 @@
 //!   budget and costed by the area model.
 //! * [`CircularBuffer`] — the ring-buffer shape used by the composer's
 //!   history file.
+//! * [`TokenSlab`] — an O(1) ring-backed map from sequential packet ids to
+//!   per-packet side state, replacing ordered maps on the hot path.
 //! * [`Fifo`] — a bounded queue with hardware-like enqueue/dequeue semantics
 //!   for the host-core pipeline.
 //! * [`SplitMix64`] — a tiny deterministic RNG for stimulus and for the rare
@@ -37,6 +39,7 @@ mod fifo;
 mod folded;
 mod history;
 mod rng;
+mod slab;
 mod sram;
 
 pub use circular::CircularBuffer;
@@ -45,4 +48,5 @@ pub use fifo::Fifo;
 pub use folded::FoldedHistory;
 pub use history::{HistoryRegister, HistorySnapshot};
 pub use rng::SplitMix64;
+pub use slab::TokenSlab;
 pub use sram::{PortKind, PortViolation, SramModel, SramSpec};

@@ -368,7 +368,10 @@ mod tests {
         for bank in 0..8 {
             let _ = *s.read(s.entry_of(bank, 3));
         }
-        assert!(s.violations().is_empty(), "one read per bank is within budget");
+        assert!(
+            s.violations().is_empty(),
+            "one read per bank is within budget"
+        );
     }
 
     #[test]

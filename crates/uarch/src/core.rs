@@ -20,8 +20,11 @@ use crate::perf::{PerfCounters, PerfReport};
 use crate::program::{CfiOutcome, DynInst, InstructionStream, Op, StaticInst};
 use crate::ras::{RasSnapshot, ReturnAddressStack};
 use cobra_core::composer::{BranchPredictorUnit, Design, GhistRepairMode, PacketId};
-use cobra_core::{BranchKind, ComposeError, PredictionBundle, SlotResolution, SLOT_BYTES};
-use std::collections::{BTreeMap, VecDeque};
+use cobra_core::{
+    BranchKind, ComposeError, PredictionBundle, SlotResolution, MAX_FETCH_WIDTH, SLOT_BYTES,
+};
+use cobra_sim::TokenSlab;
+use std::collections::VecDeque;
 
 /// A fetch packet travelling through the prediction pipeline stages.
 #[derive(Debug, Clone)]
@@ -69,12 +72,41 @@ enum RasOp {
     Pop,
 }
 
+/// The call/return traffic of one fetch packet, recorded at predecode for
+/// RAS repair. A slot performs at most one push or pop, so a fixed array
+/// holds the worst case without a heap allocation per packet.
+#[derive(Debug, Clone, Copy)]
+struct RasOps {
+    ops: [(u8, RasOp); MAX_FETCH_WIDTH],
+    len: u8,
+}
+
+impl Default for RasOps {
+    fn default() -> Self {
+        Self {
+            ops: [(0, RasOp::Pop); MAX_FETCH_WIDTH],
+            len: 0,
+        }
+    }
+}
+
+impl RasOps {
+    fn push(&mut self, slot: u8, op: RasOp) {
+        self.ops[self.len as usize] = (slot, op);
+        self.len += 1;
+    }
+
+    fn iter(&self) -> impl Iterator<Item = (u8, RasOp)> + '_ {
+        self.ops[..self.len as usize].iter().copied()
+    }
+}
+
 /// Book-keeping the core keeps per accepted fetch packet.
 #[derive(Debug, Clone, Default)]
 struct TokenInfo {
     remaining: u32,
     ras_snap: Option<RasSnapshot>,
-    ras_ops: Vec<(u8, RasOp)>,
+    ras_ops: RasOps,
 }
 
 /// The simulated core.
@@ -102,10 +134,18 @@ pub struct Core<S> {
     next_seq: u64,
     /// completion time per recent sequence number (ring keyed by seq).
     completion_ring: Vec<(u64, u64)>,
-    tokens: BTreeMap<PacketId, TokenInfo>,
+    /// Per-packet bookkeeping, keyed by the sequential history-file token
+    /// (live window bounded by the history file's capacity).
+    tokens: TokenSlab<TokenInfo>,
     pending_resolves: Vec<(PacketId, SlotResolution, Option<MispredictKind>, u64)>,
     committed_before: u64,
     last_commit_cycle: u64,
+
+    // Per-cycle scratch buffers, kept across cycles to avoid reallocating
+    // on the hot path.
+    issue_scratch: Vec<usize>,
+    due_scratch: Vec<(PacketId, SlotResolution, Option<MispredictKind>, u64)>,
+    uop_scratch: Vec<MicroOp>,
 }
 
 const COMPLETION_RING: usize = 512;
@@ -139,10 +179,13 @@ impl<S: InstructionStream> Core<S> {
             rob: VecDeque::new(),
             next_seq: 0,
             completion_ring: vec![(u64::MAX, 0); COMPLETION_RING],
-            tokens: BTreeMap::new(),
+            tokens: TokenSlab::new(bpu_cfg.history_file_entries),
             pending_resolves: Vec::new(),
             committed_before: 0,
             last_commit_cycle: 0,
+            issue_scratch: Vec::new(),
+            due_scratch: Vec::new(),
+            uop_scratch: Vec::new(),
             cfg,
         })
     }
@@ -250,7 +293,12 @@ impl<S: InstructionStream> Core<S> {
     /// Runs `warmup` instructions (training predictors and caches), then
     /// measures the next `measure` instructions, reporting only the
     /// measured region.
-    pub fn run_with_warmup(&mut self, warmup: u64, measure: u64, workload_name: &str) -> PerfReport {
+    pub fn run_with_warmup(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        workload_name: &str,
+    ) -> PerfReport {
         self.run(warmup, workload_name);
         let baseline = self.counters;
         let mut report = self.run(warmup + measure, workload_name);
@@ -291,10 +339,10 @@ impl<S: InstructionStream> Core<S> {
             );
             self.counters.committed_insts += 1;
             let token = entry.uop.token;
-            if let Some(info) = self.tokens.get_mut(&token) {
+            if let Some(info) = self.tokens.get_mut(token) {
                 info.remaining = info.remaining.saturating_sub(1);
                 if info.remaining == 0 {
-                    self.tokens.remove(&token);
+                    self.tokens.remove(token);
                     if let Some(pkt) = self.bpu.commit_front() {
                         for r in &pkt.resolutions {
                             self.counters.cfis += 1;
@@ -335,7 +383,8 @@ impl<S: InstructionStream> Core<S> {
         if producer < oldest_live {
             return Some(0); // producer already committed
         }
-        let (ring_seq, completion) = self.completion_ring[(producer % COMPLETION_RING as u64) as usize];
+        let (ring_seq, completion) =
+            self.completion_ring[(producer % COMPLETION_RING as u64) as usize];
         if ring_seq == producer {
             Some(completion)
         } else {
@@ -350,7 +399,8 @@ impl<S: InstructionStream> Core<S> {
         let mut mem = self.cfg.mem_ports;
         let mut fp = self.cfg.fp_ports;
         let mut examined = 0;
-        let mut to_issue: Vec<usize> = Vec::new();
+        let mut to_issue = std::mem::take(&mut self.issue_scratch);
+        to_issue.clear();
         for (i, e) in self.rob.iter().enumerate() {
             if examined >= self.cfg.issue_window || (alu == 0 && mem == 0 && fp == 0) {
                 break;
@@ -377,9 +427,7 @@ impl<S: InstructionStream> Core<S> {
             *port -= 1;
             to_issue.push(i);
         }
-        let mut resolutions: Vec<(PacketId, SlotResolution, Option<MispredictKind>, u64)> =
-            Vec::new();
-        for i in to_issue {
+        for &i in &to_issue {
             let (op, seq) = {
                 let e = &self.rob[i];
                 (e.uop.op, e.seq)
@@ -391,7 +439,7 @@ impl<S: InstructionStream> Core<S> {
             self.completion_ring[(seq % COMPLETION_RING as u64) as usize] = (seq, e.completion);
             // Schedule branch resolution at completion.
             if let (Op::Cfi, Some(cfi), false) = (&e.uop.op, &e.uop.cfi, e.uop.wrong_path) {
-                resolutions.push((
+                let pending = (
                     e.uop.token,
                     SlotResolution {
                         slot: e.uop.slot,
@@ -401,25 +449,29 @@ impl<S: InstructionStream> Core<S> {
                     },
                     e.uop.mispredict,
                     e.completion,
-                ));
+                );
+                self.pending_resolves.push(pending);
             }
         }
+        self.issue_scratch = to_issue;
         // Process resolutions completing this cycle (issued earlier).
         // We keep it simple: resolve at issue time but effective at the
         // completion cycle via a pending queue.
-        self.pending_resolves.extend(resolutions);
-        let due: Vec<_> = {
-            let cycle = self.cycle;
-            let (due, rest): (Vec<_>, Vec<_>) = self
-                .pending_resolves
-                .drain(..)
-                .partition(|(_, _, _, at)| *at <= cycle);
-            self.pending_resolves = rest;
-            due
-        };
-        for (token, res, misp, _) in due {
+        let mut due = std::mem::take(&mut self.due_scratch);
+        due.clear();
+        let cycle = self.cycle;
+        self.pending_resolves.retain(|r| {
+            if r.3 <= cycle {
+                due.push(*r);
+                false
+            } else {
+                true
+            }
+        });
+        for &(token, res, misp, _) in &due {
             self.resolve_branch(token, res, misp);
         }
+        self.due_scratch = due;
     }
 
     fn resolve_branch(
@@ -443,16 +495,18 @@ impl<S: InstructionStream> Core<S> {
         // Flush the ROB and fetch buffer younger than the branch.
         // Flush everything younger than the branch (in program order:
         // later tokens, or later slots of the same packet).
-        while self.rob.back().is_some_and(|e| {
-            e.uop.token > token || (e.uop.token == token && e.uop.slot > res.slot)
-        }) {
+        while self
+            .rob
+            .back()
+            .is_some_and(|e| e.uop.token > token || (e.uop.token == token && e.uop.slot > res.slot))
+        {
             let e = self.rob.pop_back().expect("back exists");
-            if let Some(info) = self.tokens.get_mut(&e.uop.token) {
+            if let Some(info) = self.tokens.get_mut(e.uop.token) {
                 info.remaining = info.remaining.saturating_sub(1);
             }
         }
         for uop in self.fetch_buffer.drain(..) {
-            if let Some(info) = self.tokens.get_mut(&uop.token) {
+            if let Some(info) = self.tokens.get_mut(uop.token) {
                 info.remaining = info.remaining.saturating_sub(1);
             }
         }
@@ -462,18 +516,16 @@ impl<S: InstructionStream> Core<S> {
 
         // Repair the RAS: restore the mispredicting packet's snapshot and
         // replay its pre-branch call/ret traffic.
-        let replay: Option<(RasSnapshot, Vec<(u8, RasOp)>)> = self
-            .tokens
-            .get(&token)
-            .and_then(|i| i.ras_snap.map(|s| (s, i.ras_ops.clone())));
-        if let Some((snap, ops)) = replay {
-            self.ras.restore(snap);
-            for (slot, op) in ops {
-                if slot <= res.slot {
-                    match op {
-                        RasOp::Push(a) => self.ras.push(a),
-                        RasOp::Pop => {
-                            let _ = self.ras.pop();
+        if let Some(info) = self.tokens.get(token) {
+            if let Some(snap) = info.ras_snap {
+                self.ras.restore(snap);
+                for (slot, op) in info.ras_ops.iter() {
+                    if slot <= res.slot {
+                        match op {
+                            RasOp::Push(a) => self.ras.push(a),
+                            RasOp::Pop => {
+                                let _ = self.ras.pop();
+                            }
                         }
                     }
                 }
@@ -481,16 +533,11 @@ impl<S: InstructionStream> Core<S> {
         }
         // Drop bookkeeping for squashed tokens. Tokens with remaining == 0
         // here were entirely wrong-path (never to commit).
-        let squashed = self.tokens.split_off(&(token + 1));
-        drop(squashed);
+        self.tokens.truncate_above(token);
         // Trim the mispredicted token's own count to what survives in the
         // ROB (its post-branch slots were flushed).
-        if let Some(info) = self.tokens.get_mut(&token) {
-            let live = self
-                .rob
-                .iter()
-                .filter(|e| e.uop.token == token)
-                .count() as u32;
+        if let Some(info) = self.tokens.get_mut(token) {
+            let live = self.rob.iter().filter(|e| e.uop.token == token).count() as u32;
             info.remaining = live;
         }
 
@@ -556,13 +603,11 @@ impl<S: InstructionStream> Core<S> {
             }
             let old_next = self.packet_next_pc(f.pc, f.width, &f.used);
             let new_next = self.packet_next_pc(f.pc, f.width, &new);
-            let old_hist: Vec<bool> = f.used.history_bits().collect();
-            let new_hist: Vec<bool> = new.history_bits().collect();
             if new_next != old_next {
                 redirect = Some((i, new_next));
                 self.counters.override_redirects += 1;
                 break;
-            } else if new_hist != old_hist {
+            } else if !new.history_bits().eq(f.used.history_bits()) {
                 match self.bpu.config().repair_mode {
                     GhistRepairMode::ReplayFetch => {
                         redirect = Some((i, new_next));
@@ -583,19 +628,22 @@ impl<S: InstructionStream> Core<S> {
             }
         }
         if let Some((i, new_next)) = redirect {
-            let f = self.fetch_pipeline[i].clone();
+            let (fid, fstage) = {
+                let f = &self.fetch_pipeline[i];
+                (f.id, f.stage)
+            };
             let new = *self
                 .bpu
-                .prediction(f.id, f.stage)
+                .prediction(fid, fstage)
                 .expect("prediction just read");
             if new_next == u64::MAX {
                 // SnapshotOnly (original design): the prediction is adopted
                 // but the misspeculated history is left unrepaired and
                 // nothing is replayed.
-                self.bpu.revise_quiet(f.id, &new);
+                self.bpu.revise_quiet(fid, &new);
                 self.fetch_pipeline[i].used = new;
             } else {
-                self.bpu.revise(f.id, &new, true);
+                self.bpu.revise(fid, &new, true);
                 self.fetch_pipeline[i].used = new;
                 while self.fetch_pipeline.len() > i + 1 {
                     self.fetch_pipeline.pop_back();
@@ -629,15 +677,11 @@ impl<S: InstructionStream> Core<S> {
         }
 
         // 4. Predecode + enqueue the packet at the final stage.
-        if self
-            .fetch_pipeline
-            .front()
-            .is_some_and(|f| f.stage >= depth)
-        {
-            let room = self.cfg.fetch_buffer_insts - self.fetch_buffer.len().min(self.cfg.fetch_buffer_insts);
-            let f = self.fetch_pipeline.front().expect("front exists").clone();
-            if room >= f.width as usize {
-                self.fetch_pipeline.pop_front();
+        if let Some(front) = self.fetch_pipeline.front() {
+            let room = self.cfg.fetch_buffer_insts
+                - self.fetch_buffer.len().min(self.cfg.fetch_buffer_insts);
+            if front.stage >= depth && room >= front.width as usize {
+                let f = self.fetch_pipeline.pop_front().expect("front exists");
                 self.predecode_and_enqueue(f);
             }
         }
@@ -648,7 +692,10 @@ impl<S: InstructionStream> Core<S> {
             self.counters.icache_stall_cycles += 1;
         }
         let has_slot = self.fetch_pipeline.len() < depth as usize;
-        if !stalled && has_slot && !(self.stream_done && self.lookahead.is_none() && !self.on_wrong_path) {
+        if !stalled
+            && has_slot
+            && !(self.stream_done && self.lookahead.is_none() && !self.on_wrong_path)
+        {
             let pc = self.fetch_pc;
             let extra = self.mem.fetch(self.block_base(pc));
             if extra > 0 {
@@ -705,7 +752,7 @@ impl<S: InstructionStream> Core<S> {
     fn predecode_and_enqueue(&mut self, f: InflightFetch) {
         let mut corrected = f.used;
         let ras_snap = self.ras.snapshot();
-        let mut ras_ops: Vec<(u8, RasOp)> = Vec::new();
+        let mut ras_ops = RasOps::default();
 
         // A packet is on the correct path iff it starts exactly at the next
         // architectural PC.
@@ -720,7 +767,8 @@ impl<S: InstructionStream> Core<S> {
             return;
         }
 
-        let mut uops: Vec<MicroOp> = Vec::new();
+        let mut uops = std::mem::take(&mut self.uop_scratch);
+        uops.clear();
         let mut diverged = false;
         for s in 0..f.width {
             let slot_pc = f.pc + s as u64 * SLOT_BYTES;
@@ -774,11 +822,11 @@ impl<S: InstructionStream> Core<S> {
             match sp.kind {
                 Some(BranchKind::Call) => {
                     self.ras.push(slot_pc + SLOT_BYTES);
-                    ras_ops.push((s, RasOp::Push(slot_pc + SLOT_BYTES)));
+                    ras_ops.push(s, RasOp::Push(slot_pc + SLOT_BYTES));
                 }
                 Some(BranchKind::Ret) => {
                     let _ = self.ras.pop();
-                    ras_ops.push((s, RasOp::Pop));
+                    ras_ops.push(s, RasOp::Pop);
                 }
                 _ => {}
             }
@@ -860,11 +908,7 @@ impl<S: InstructionStream> Core<S> {
         // If predecode changed the observable prediction, revise.
         let old_next = self.packet_next_pc(f.pc, f.width, &f.used);
         let new_next = self.packet_next_pc(f.pc, f.width, &corrected);
-        let hist_changed: bool = {
-            let a: Vec<bool> = f.used.history_bits().collect();
-            let b: Vec<bool> = corrected.history_bits().collect();
-            a != b
-        };
+        let hist_changed = !f.used.history_bits().eq(corrected.history_bits());
         if new_next != old_next {
             self.bpu.revise(f.id, &corrected, true);
             self.fetch_pipeline.clear();
@@ -884,11 +928,11 @@ impl<S: InstructionStream> Core<S> {
             }
         }
 
-
         // Accept into the history file and enqueue the micro-ops.
         self.bpu.accept(f.id, corrected);
         let info = TokenInfo {
-            remaining: uops.len() as u32,
+            // An empty packet still retires one zero-cost marker op below.
+            remaining: uops.len().max(1) as u32,
             ras_snap: Some(ras_snap),
             ras_ops,
         };
@@ -896,7 +940,6 @@ impl<S: InstructionStream> Core<S> {
         if uops.is_empty() {
             // Nothing to commit from this packet: retire its entry when it
             // reaches the head. Represent with a zero-cost marker op.
-            self.tokens.get_mut(&f.id).expect("just inserted").remaining = 1;
             self.fetch_buffer.push_back(MicroOp {
                 token: f.id,
                 slot: 0,
@@ -907,11 +950,11 @@ impl<S: InstructionStream> Core<S> {
                 wrong_path: false,
             });
         } else {
-            self.fetch_buffer.extend(uops);
+            self.fetch_buffer.extend(uops.drain(..));
         }
+        self.uop_scratch = uops;
     }
 }
-
 
 #[cfg(test)]
 mod tests {

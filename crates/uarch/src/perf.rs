@@ -155,6 +155,9 @@ mod tests {
     fn harmonic_mean_basics() {
         assert_eq!(harmonic_mean(&[]), 0.0);
         assert!((harmonic_mean(&[3.0, 3.0, 3.0]) - 3.0).abs() < 1e-12);
-        assert!(harmonic_mean(&[1.0, 100.0]) < 2.0, "dominated by the slow one");
+        assert!(
+            harmonic_mean(&[1.0, 100.0]) < 2.0,
+            "dominated by the slow one"
+        );
     }
 }

@@ -164,8 +164,7 @@ impl TraceSim {
                     Some(i) => i,
                     None => break 'outer,
                 };
-                let contiguous = next.pc == inst.pc + 2
-                    && next.pc < pc + width as u64 * 2;
+                let contiguous = next.pc == inst.pc + 2 && next.pc < pc + width as u64 * 2;
                 if contiguous {
                     inst = next;
                 } else {

@@ -129,7 +129,10 @@ mod tests {
             },
             9,
         );
-        assert_eq!(o, vec![true, true, false, true, true, false, true, true, false]);
+        assert_eq!(
+            o,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub const SPEC17_NAMES: [&str; 10] = [
 pub fn spec17(name: &str) -> ProgramSpec {
     let base = ProgramSpec {
         name: name.into(),
-        seed: 0x5bec_0000 ^ cobra_sim::bits::mix64(name.len() as u64 * 131 + name.as_bytes()[0] as u64),
+        seed: 0x5bec_0000
+            ^ cobra_sim::bits::mix64(name.len() as u64 * 131 + name.as_bytes()[0] as u64),
         ..ProgramSpec::default()
     };
     match name {

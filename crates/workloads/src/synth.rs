@@ -224,8 +224,10 @@ impl<'a> Generator<'a> {
                 p: (centre + jitter).clamp(0.02, 0.98),
             }
         } else if r < b + p {
-            let len = self.range(self.spec.pattern_len.0 as u64, self.spec.pattern_len.1 as u64)
-                as u32;
+            let len = self.range(
+                self.spec.pattern_len.0 as u64,
+                self.spec.pattern_len.1 as u64,
+            ) as u32;
             BranchBehavior::Pattern {
                 bits: self.rng.next_u64(),
                 len,
@@ -248,8 +250,7 @@ impl<'a> Generator<'a> {
     }
 
     fn new_loop_behavior(&mut self) -> usize {
-        let trip =
-            self.range(self.spec.loop_trips.0 as u64, self.spec.loop_trips.1 as u64) as u32;
+        let trip = self.range(self.spec.loop_trips.0 as u64, self.spec.loop_trips.1 as u64) as u32;
         let seed = self.rng.next_u64();
         self.behaviors
             .push(BehaviorState::new(BranchBehavior::Loop { trip }, seed));
@@ -757,11 +758,7 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = spec().build();
-        let b = ProgramSpec {
-            seed: 8,
-            ..spec()
-        }
-        .build();
+        let b = ProgramSpec { seed: 8, ..spec() }.build();
         assert_ne!(a.code, b.code);
     }
 
@@ -808,8 +805,10 @@ mod tests {
             match i.cfi {
                 Some(c) => {
                     assert_eq!(st.cfi_kind, Some(c.kind), "kind mismatch at {:#x}", i.pc);
-                    if matches!(c.kind, BranchKind::Conditional | BranchKind::Jump | BranchKind::Call)
-                    {
+                    if matches!(
+                        c.kind,
+                        BranchKind::Conditional | BranchKind::Jump | BranchKind::Call
+                    ) {
                         assert_eq!(st.target, Some(c.target).filter(|_| c.taken).or(st.target));
                         if c.taken {
                             assert_eq!(st.target, Some(c.target), "static target mismatch");
@@ -843,10 +842,7 @@ mod tests {
         assert!(hammocks(&with_branches) > 0);
         assert_eq!(hammocks(&predicated), 0);
         assert!(
-            predicated
-                .code
-                .iter()
-                .any(|c| matches!(c, CodeOp::SetFlag)),
+            predicated.code.iter().any(|c| matches!(c, CodeOp::SetFlag)),
             "predicated mode emits set-flag ops"
         );
     }

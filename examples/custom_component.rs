@@ -124,7 +124,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    components are validated independently).
     let mut c = AgreePredictor::new(1024);
     let violations = check_component(&mut c, CheckConfig::default());
-    assert!(violations.is_empty(), "interface violations: {violations:?}");
+    assert!(
+        violations.is_empty(),
+        "interface violations: {violations:?}"
+    );
     println!("AgreePredictor passes the interface conformance checks.");
 
     // 2. Compose it above a bimodal+BTB base and evaluate.

@@ -24,7 +24,9 @@ use cobra::workloads::kernels;
 
 fn registry() -> ComponentRegistry {
     let mut r = ComponentRegistry::new();
-    r.register("GBIM2", |w| Box::new(Hbim::new(HbimConfig::gbim(16384, 12, w))));
+    r.register("GBIM2", |w| {
+        Box::new(Hbim::new(HbimConfig::gbim(16384, 12, w)))
+    });
     r.register("LBIM2", |w| {
         Box::new(Hbim::new(HbimConfig {
             entries: 1024,
@@ -36,7 +38,9 @@ fn registry() -> ComponentRegistry {
         }))
     });
     r.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
-    r.register("TOURNEY3", |w| Box::new(Tourney::new(TourneyConfig::paper(w))));
+    r.register("TOURNEY3", |w| {
+        Box::new(Tourney::new(TourneyConfig::paper(w)))
+    });
     let loop2 = |latency: u8| {
         move |w: u8| -> Box<dyn cobra::core::Component> {
             Box::new(LoopPredictor::new(LoopConfig {

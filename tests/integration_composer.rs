@@ -162,15 +162,19 @@ fn topology_dsl_and_composer_agree_on_structure() {
     use cobra::core::composer::{PredictorPipeline, Topology};
     for design in designs::all() {
         let topo = Topology::parse(&design.topology).expect("stock topology parses");
-        let pipeline =
-            PredictorPipeline::compile(&topo, &design.registry, 8).expect("compiles");
+        let pipeline = PredictorPipeline::compile(&topo, &design.registry, 8).expect("compiles");
         assert_eq!(
             pipeline.num_nodes(),
             topo.len(),
             "{}: node count mismatch",
             design.name
         );
-        assert_eq!(pipeline.depth(), 3, "{}: all stock designs are 3-deep", design.name);
+        assert_eq!(
+            pipeline.depth(),
+            3,
+            "{}: all stock designs are 3-deep",
+            design.name
+        );
         // Display round-trip.
         let reparsed = Topology::parse(&topo.to_string()).expect("round-trips");
         assert_eq!(topo, reparsed);

@@ -29,14 +29,23 @@ fn all_designs_run_all_kernels_sanely() {
                 "{}/{name}: too few instructions",
                 design.name
             );
-            assert!(c.ipc() > 0.1 && c.ipc() <= 8.0, "{}/{name}: IPC {}", design.name, c.ipc());
+            assert!(
+                c.ipc() > 0.1 && c.ipc() <= 8.0,
+                "{}/{name}: IPC {}",
+                design.name,
+                c.ipc()
+            );
             assert!(
                 c.branch_accuracy() > 50.0 && c.branch_accuracy() <= 100.0,
                 "{}/{name}: accuracy {}",
                 design.name,
                 c.branch_accuracy()
             );
-            assert!(c.cond_branches > 0, "{}/{name}: no branches committed", design.name);
+            assert!(
+                c.cond_branches > 0,
+                "{}/{name}: no branches committed",
+                design.name
+            );
         }
     }
 }
@@ -67,7 +76,11 @@ fn tage_l_beats_untagged_designs_on_history_code() {
 #[test]
 fn loop_predictor_earns_its_keep() {
     // TAGE-L (with the loop corrector) must be strong on counted loops.
-    let r = run(&designs::tage_l(), CoreConfig::boom_4wide(), &kernels::loop_stress());
+    let r = run(
+        &designs::tage_l(),
+        CoreConfig::boom_4wide(),
+        &kernels::loop_stress(),
+    );
     assert!(
         r.counters.branch_accuracy() > 97.0,
         "loop accuracy {}",
@@ -132,8 +145,16 @@ fn tage_latency_sweep_keeps_accuracy() {
     // Section VI-A: varying the TAGE latency must not change accuracy
     // much; the interface isolates the change.
     let spec = spec17::spec17("gcc");
-    let l2 = run(&designs::tage_l_with_latency(2), CoreConfig::boom_4wide(), &spec);
-    let l3 = run(&designs::tage_l_with_latency(3), CoreConfig::boom_4wide(), &spec);
+    let l2 = run(
+        &designs::tage_l_with_latency(2),
+        CoreConfig::boom_4wide(),
+        &spec,
+    );
+    let l3 = run(
+        &designs::tage_l_with_latency(3),
+        CoreConfig::boom_4wide(),
+        &spec,
+    );
     let diff = (l2.counters.branch_accuracy() - l3.counters.branch_accuracy()).abs();
     assert!(diff < 2.0, "accuracy moved {diff} points with latency");
     assert!(l2.counters.ipc() >= l3.counters.ipc() * 0.97);
@@ -143,7 +164,12 @@ fn tage_latency_sweep_keeps_accuracy() {
 fn extension_designs_run() {
     for design in [designs::tage_sc_l(), designs::perceptron()] {
         let r = run(&design, CoreConfig::boom_4wide(), &kernels::dhrystone());
-        assert!(r.counters.ipc() > 0.3, "{}: IPC {}", design.name, r.counters.ipc());
+        assert!(
+            r.counters.ipc() > 0.3,
+            "{}: IPC {}",
+            design.name,
+            r.counters.ipc()
+        );
     }
 }
 
@@ -164,7 +190,10 @@ fn spec_suite_ordering_headline() {
     }
     let tage = means.iter().find(|(n, _)| n == "TAGE-L").unwrap().1;
     for (name, m) in &means {
-        assert!(tage >= *m - 1e-9, "TAGE-L ({tage}) must not lose to {name} ({m})");
+        assert!(
+            tage >= *m - 1e-9,
+            "TAGE-L ({tage}) must not lose to {name} ({m})"
+        );
     }
 }
 

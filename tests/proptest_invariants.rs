@@ -1,197 +1,232 @@
-//! Property-based tests over the framework's core data structures and
+//! Randomized property tests over the framework's core data structures and
 //! invariants.
+//!
+//! The build environment has no access to crates.io, so instead of
+//! `proptest` these tests drive each invariant with a seeded
+//! [`SplitMix64`] generator: same coverage style (hundreds of random
+//! cases per property), fully deterministic, zero external dependencies.
 
 use cobra::core::composer::Topology;
 use cobra::core::{BranchKind, PredictionBundle, SlotPrediction};
 use cobra::sim::{CircularBuffer, FoldedHistory, HistoryRegister, SaturatingCounter, SplitMix64};
-use proptest::prelude::*;
 
-fn arb_slot() -> impl Strategy<Value = SlotPrediction> {
-    (
-        proptest::option::of(prop_oneof![
-            Just(BranchKind::Conditional),
-            Just(BranchKind::Jump),
-            Just(BranchKind::Call),
-            Just(BranchKind::Ret),
-            Just(BranchKind::Indirect),
-        ]),
-        proptest::option::of(any::<bool>()),
-        proptest::option::of(0u64..1 << 40),
-    )
-        .prop_map(|(kind, taken, target)| SlotPrediction { kind, taken, target })
-}
+const CASES: u64 = 300;
 
-fn arb_bundle() -> impl Strategy<Value = PredictionBundle> {
-    (1u8..=8, proptest::collection::vec(arb_slot(), 8)).prop_map(|(width, slots)| {
-        let mut b = PredictionBundle::new(width);
-        for (i, s) in slots.iter().enumerate().take(width as usize) {
-            *b.slot_mut(i) = *s;
-        }
-        b
-    })
-}
-
-proptest! {
-    #[test]
-    fn override_by_empty_is_identity(b in arb_bundle()) {
-        let empty = PredictionBundle::new(b.width());
-        prop_assert_eq!(b.overridden_by(&empty), b);
+fn arb_kind(rng: &mut SplitMix64) -> Option<BranchKind> {
+    match rng.below(6) {
+        0 => None,
+        1 => Some(BranchKind::Conditional),
+        2 => Some(BranchKind::Jump),
+        3 => Some(BranchKind::Call),
+        4 => Some(BranchKind::Ret),
+        _ => Some(BranchKind::Indirect),
     }
+}
 
-    #[test]
-    fn override_is_idempotent(
-        width in 1u8..=8,
-        bs in proptest::collection::vec(arb_slot(), 8),
-        os in proptest::collection::vec(arb_slot(), 8),
-    ) {
+fn arb_slot(rng: &mut SplitMix64) -> SlotPrediction {
+    SlotPrediction {
+        kind: arb_kind(rng),
+        taken: match rng.below(3) {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        },
+        target: rng.chance(0.5).then(|| rng.below(1 << 40)),
+    }
+}
+
+fn arb_bundle(rng: &mut SplitMix64) -> PredictionBundle {
+    let width = 1 + rng.below(8) as u8;
+    let mut b = PredictionBundle::new(width);
+    for i in 0..width as usize {
+        *b.slot_mut(i) = arb_slot(rng);
+    }
+    b
+}
+
+#[test]
+fn override_by_empty_is_identity() {
+    let mut rng = SplitMix64::new(0x0b1);
+    for _ in 0..CASES {
+        let b = arb_bundle(&mut rng);
+        let empty = PredictionBundle::new(b.width());
+        assert_eq!(b.overridden_by(&empty), b);
+    }
+}
+
+#[test]
+fn override_is_idempotent() {
+    let mut rng = SplitMix64::new(0x0b2);
+    for _ in 0..CASES {
+        let width = 1 + rng.below(8) as u8;
         let mut b = PredictionBundle::new(width);
         let mut o = PredictionBundle::new(width);
         for i in 0..width as usize {
-            *b.slot_mut(i) = bs[i];
-            *o.slot_mut(i) = os[i];
+            *b.slot_mut(i) = arb_slot(&mut rng);
+            *o.slot_mut(i) = arb_slot(&mut rng);
         }
         let once = b.overridden_by(&o);
         let twice = once.overridden_by(&o);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice);
     }
+}
 
-    #[test]
-    fn redirect_slot_always_wants_redirect(b in arb_bundle()) {
+#[test]
+fn redirect_slot_always_wants_redirect() {
+    let mut rng = SplitMix64::new(0x0b3);
+    for _ in 0..CASES {
+        let b = arb_bundle(&mut rng);
         if let Some((slot, target)) = b.redirect() {
-            prop_assert!(b.slot(slot).wants_redirect());
-            prop_assert_eq!(b.slot(slot).target, Some(target));
+            assert!(b.slot(slot).wants_redirect());
+            assert_eq!(b.slot(slot).target, Some(target));
             // Nothing earlier redirects with a target.
             for i in 0..slot {
-                prop_assert!(!(b.slot(i).wants_redirect() && b.slot(i).target.is_some()));
-            }
-        }
-    }
-
-    #[test]
-    fn history_bits_bounded_by_width(b in arb_bundle()) {
-        let n = b.history_bits().count();
-        prop_assert!(n <= b.width() as usize);
-    }
-
-    #[test]
-    fn next_pc_is_target_or_block_fallthrough(b in arb_bundle(), pc in 0u64..1 << 30) {
-        let pc = pc * 2;
-        let next = b.next_pc(pc, 16);
-        match b.redirect() {
-            Some((_, t)) => prop_assert_eq!(next, t),
-            None => {
-                prop_assert_eq!(next, (pc & !15) + 16);
+                assert!(!(b.slot(i).wants_redirect() && b.slot(i).target.is_some()));
             }
         }
     }
 }
 
-proptest! {
-    #[test]
-    fn history_register_matches_vec_model(
-        width in 1u32..200,
-        pushes in proptest::collection::vec(any::<bool>(), 0..300),
-    ) {
+#[test]
+fn history_bits_bounded_by_width() {
+    let mut rng = SplitMix64::new(0x0b4);
+    for _ in 0..CASES {
+        let b = arb_bundle(&mut rng);
+        let n = b.history_bits().count();
+        assert!(n <= b.width() as usize);
+    }
+}
+
+#[test]
+fn next_pc_is_target_or_block_fallthrough() {
+    let mut rng = SplitMix64::new(0x0b5);
+    for _ in 0..CASES {
+        let b = arb_bundle(&mut rng);
+        let pc = rng.below(1 << 30) * 2;
+        let next = b.next_pc(pc, 16);
+        match b.redirect() {
+            Some((_, t)) => assert_eq!(next, t),
+            None => assert_eq!(next, (pc & !15) + 16),
+        }
+    }
+}
+
+#[test]
+fn history_register_matches_vec_model() {
+    let mut rng = SplitMix64::new(0x0c1);
+    for _ in 0..100 {
+        let width = 1 + rng.below(199) as u32;
+        let n_pushes = rng.below(300);
         let mut h = HistoryRegister::new(width);
         let mut model: Vec<bool> = Vec::new(); // newest first
-        for &t in &pushes {
+        for _ in 0..n_pushes {
+            let t = rng.chance(0.5);
             h.push(t);
             model.insert(0, t);
             model.truncate(width as usize);
         }
         for (i, &bit) in model.iter().enumerate() {
-            prop_assert_eq!(h.bit(i as u32), bit, "bit {} mismatch", i);
+            assert_eq!(h.bit(i as u32), bit, "bit {i} mismatch");
         }
         let n = width.min(24);
         if model.len() >= n as usize {
             let mut expect = 0u64;
-            for i in 0..n {
-                expect |= (model[i as usize] as u64) << i;
+            for (i, &bit) in model.iter().enumerate().take(n as usize) {
+                expect |= (bit as u64) << i;
             }
-            prop_assert_eq!(h.low_bits(n), expect);
+            assert_eq!(h.low_bits(n), expect);
         }
     }
+}
 
-    #[test]
-    fn snapshot_restore_is_exact(
-        width in 1u32..130,
-        prefix in proptest::collection::vec(any::<bool>(), 0..100),
-        suffix in proptest::collection::vec(any::<bool>(), 0..100),
-    ) {
+#[test]
+fn snapshot_restore_is_exact() {
+    let mut rng = SplitMix64::new(0x0c2);
+    for _ in 0..100 {
+        let width = 1 + rng.below(129) as u32;
+        let prefix: Vec<bool> = (0..rng.below(100)).map(|_| rng.chance(0.5)).collect();
+        let suffix: Vec<bool> = (0..rng.below(100)).map(|_| rng.chance(0.5)).collect();
         let mut h = HistoryRegister::new(width);
         h.push_all(prefix.iter().copied());
         let snap = h.snapshot();
         let reference = h.clone();
         h.push_all(suffix.iter().copied());
         h.restore(&snap);
-        prop_assert_eq!(h, reference);
+        assert_eq!(h, reference);
     }
+}
 
-    #[test]
-    fn folded_history_tracks_reference(
-        length in 1u32..64,
-        width in 1u32..16,
-        pushes in proptest::collection::vec(any::<bool>(), 1..200),
-    ) {
+#[test]
+fn folded_history_tracks_reference() {
+    let mut rng = SplitMix64::new(0x0c3);
+    for _ in 0..100 {
+        let length = 1 + rng.below(63) as u32;
+        let width = 1 + rng.below(15) as u32;
+        let n_pushes = 1 + rng.below(199);
         let mut ghist = HistoryRegister::new(length + 1);
         let mut fold = FoldedHistory::new(length, width);
-        for &t in &pushes {
+        for _ in 0..n_pushes {
+            let t = rng.chance(0.5);
             let outgoing = ghist.bit(length - 1);
             fold.update(t, outgoing);
             ghist.push(t);
-            prop_assert_eq!(fold.value(), ghist.folded(length, width));
+            assert_eq!(fold.value(), ghist.folded(length, width));
         }
     }
+}
 
-    #[test]
-    fn saturating_counter_stays_in_range(
-        bits in 1u8..=8,
-        ops in proptest::collection::vec(any::<bool>(), 0..100),
-    ) {
+#[test]
+fn saturating_counter_stays_in_range() {
+    let mut rng = SplitMix64::new(0x0c4);
+    for _ in 0..100 {
+        let bits = 1 + rng.below(8) as u8;
+        let n_ops = rng.below(100);
         let mut c = SaturatingCounter::weakly_taken(bits);
-        for &t in &ops {
-            c.train(t);
-            prop_assert!(c.value() <= c.max());
+        for _ in 0..n_ops {
+            c.train(rng.chance(0.5));
+            assert!(c.value() <= c.max());
         }
         // Saturate up: must predict taken.
-        for _ in 0..(1 << bits) {
+        for _ in 0..(1u32 << bits) {
             c.train(true);
         }
-        prop_assert!(c.is_taken() && c.is_strong());
+        assert!(c.is_taken() && c.is_strong());
     }
+}
 
-    #[test]
-    fn circular_buffer_matches_deque_model(
-        capacity in 1usize..16,
-        ops in proptest::collection::vec(0u8..4, 0..200),
-    ) {
+#[test]
+fn circular_buffer_matches_deque_model() {
+    let mut rng = SplitMix64::new(0x0c5);
+    for _ in 0..100 {
+        let capacity = 1 + rng.below(15) as usize;
+        let n_ops = rng.below(200);
         let mut buf: CircularBuffer<u32> = CircularBuffer::new(capacity);
         let mut model: std::collections::VecDeque<(u64, u32)> = Default::default();
         let mut next_val = 0u32;
         let mut next_token = 0u64;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match rng.below(4) {
                 0 => {
                     let r = buf.push(next_val);
                     if model.len() < capacity {
                         let t = r.expect("model says there is room");
-                        prop_assert_eq!(t, next_token);
+                        assert_eq!(t, next_token);
                         model.push_back((next_token, next_val));
                         next_token += 1;
                     } else {
-                        prop_assert!(r.is_err());
+                        assert!(r.is_err());
                     }
                     next_val += 1;
                 }
                 1 => {
                     let popped = buf.pop();
                     let expect = model.pop_front();
-                    prop_assert_eq!(popped, expect);
+                    assert_eq!(popped, expect);
                 }
                 2 => {
                     // Random access on a live token.
                     if let Some(&(t, v)) = model.front() {
-                        prop_assert_eq!(buf.get(t), Some(&v));
+                        assert_eq!(buf.get(t), Some(&v));
                     }
                 }
                 _ => {
@@ -203,54 +238,65 @@ proptest! {
                     }
                 }
             }
-            prop_assert_eq!(buf.len(), model.len());
+            assert_eq!(buf.len(), model.len());
         }
     }
+}
 
-    #[test]
-    fn splitmix_below_respects_bounds(seed in any::<u64>(), bound in 1u64..1 << 40) {
+#[test]
+fn splitmix_below_respects_bounds() {
+    let mut seeder = SplitMix64::new(0x0c6);
+    for _ in 0..100 {
+        let seed = seeder.next_u64();
+        let bound = 1 + seeder.below((1 << 40) - 1);
         let mut rng = SplitMix64::new(seed);
         for _ in 0..20 {
-            prop_assert!(rng.below(bound) < bound);
+            assert!(rng.below(bound) < bound);
         }
     }
 }
 
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    let leaf = "[A-Z][A-Z0-9]{0,6}".prop_map(Topology::Leaf);
-    leaf.prop_recursive(3, 24, 4, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| {
-                // `Over` left operands must be leaves for composability,
-                // but Display/parse round-trips arbitrary shapes.
-                Topology::Over(Box::new(a), Box::new(b))
-            }),
-            (
-                "[A-Z][A-Z0-9]{0,6}",
-                proptest::collection::vec(inner, 2..4)
-            )
-                .prop_map(|(selector, inputs)| Topology::Arbiter { selector, inputs }),
-        ]
-    })
+fn arb_name(rng: &mut SplitMix64) -> String {
+    let first = (b'A' + rng.below(26) as u8) as char;
+    let mut s = String::new();
+    s.push(first);
+    for _ in 0..rng.below(7) {
+        let c = match rng.below(36) {
+            n @ 0..=25 => (b'A' + n as u8) as char,
+            n => (b'0' + (n - 26) as u8) as char,
+        };
+        s.push(c);
+    }
+    s
 }
 
-proptest! {
-    #[test]
-    fn topology_display_parse_round_trip(t in arb_topology()) {
-        // Only topologies whose Over-left operands are leaves are
-        // expressible in the notation; skip the rest.
-        fn expressible(t: &Topology) -> bool {
-            match t {
-                Topology::Leaf(_) => true,
-                Topology::Over(a, b) => {
-                    matches!(**a, Topology::Leaf(_)) && expressible(b)
-                }
-                Topology::Arbiter { inputs, .. } => inputs.iter().all(expressible),
-            }
+/// Random topology whose `Over` left operands are always leaves — the
+/// shapes expressible in the paper's notation.
+fn arb_topology(rng: &mut SplitMix64, depth: u32) -> Topology {
+    if depth == 0 || rng.chance(0.4) {
+        return Topology::Leaf(arb_name(rng));
+    }
+    if rng.chance(0.5) {
+        Topology::Over(
+            Box::new(Topology::Leaf(arb_name(rng))),
+            Box::new(arb_topology(rng, depth - 1)),
+        )
+    } else {
+        let n = 2 + rng.below(2) as usize;
+        Topology::Arbiter {
+            selector: arb_name(rng),
+            inputs: (0..n).map(|_| arb_topology(rng, depth - 1)).collect(),
         }
-        prop_assume!(expressible(&t));
+    }
+}
+
+#[test]
+fn topology_display_parse_round_trip() {
+    let mut rng = SplitMix64::new(0x0d1);
+    for _ in 0..CASES {
+        let t = arb_topology(&mut rng, 3);
         let text = t.to_string();
         let parsed = Topology::parse(&text).expect("display must parse");
-        prop_assert_eq!(parsed, t);
+        assert_eq!(parsed, t);
     }
 }
