@@ -1,0 +1,270 @@
+//! `cobra-lint` — static analysis of predictor topologies.
+//!
+//! Runs the five `cobra_core::analysis` passes over built-in designs or
+//! raw topology strings, without simulating:
+//!
+//! ```text
+//! cobra-lint --all                          # lint every built-in design
+//! cobra-lint TAGE-L Tournament              # lint by design name
+//! cobra-lint "UBTB1 > BIM2"                 # lint a raw topology
+//! cobra-lint --all --format json            # machine-readable reports
+//! cobra-lint --all --deny warnings          # CI mode: warnings fail
+//! cobra-lint --list-codes                   # the diagnostic code table
+//! ```
+//!
+//! Raw topologies resolve against the stock component registry
+//! ([`cobra_core::designs::stock_registry`]); built-in designs resolve
+//! against their own registries and are cross-checked against the
+//! storage reference figures in [`cobra_bench::reference`].
+//!
+//! Exit status: 0 when no denied diagnostic fired, 1 when at least one
+//! did, 2 on a usage error.
+
+use cobra_bench::reference;
+use cobra_core::analysis::{self, AnalysisConfig, DiagCode, Severity};
+use cobra_core::designs;
+use std::process::ExitCode;
+
+struct Options {
+    targets: Vec<String>,
+    all: bool,
+    json: bool,
+    deny_warnings: bool,
+    deny: Vec<DiagCode>,
+    allow: Vec<DiagCode>,
+    width: u8,
+    ghist_bits: u32,
+    lhist_entries: u64,
+    meta_budget_bits: u32,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        let base = AnalysisConfig::default();
+        Self {
+            targets: Vec::new(),
+            all: false,
+            json: false,
+            deny_warnings: false,
+            deny: Vec::new(),
+            allow: Vec::new(),
+            width: base.width,
+            ghist_bits: 64,
+            lhist_entries: 256,
+            meta_budget_bits: base.meta_budget_bits,
+        }
+    }
+}
+
+const USAGE: &str = "usage: cobra-lint [OPTIONS] [TARGET...]
+
+Targets are built-in design names (e.g. TAGE-L) or raw topology strings
+(e.g. \"LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1\").
+
+Options:
+  --all               lint every built-in design
+  --format FMT        human (default) or json
+  --deny warnings     treat warnings as errors (exit 1)
+  --deny CODE         treat one code (e.g. C0501) as an error
+  --allow CODE        demote one warning code to a note
+  --width N           fetch width for raw topologies [8]
+  --ghist N           global-history bits for raw topologies [64]
+  --lhist N           local-history entries for raw topologies [256]
+  --meta-budget N     history-file metadata budget in bits [256]
+  --list-codes        print the diagnostic code table and exit
+  -h, --help          print this help";
+
+fn parse_code(s: &str) -> Result<DiagCode, String> {
+    DiagCode::from_code(s).ok_or_else(|| format!("unknown diagnostic code `{s}`"))
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
+    let mut o = Options::default();
+    let mut it = args.iter();
+    let need = |it: &mut std::slice::Iter<'_, String>, flag: &str| {
+        it.next()
+            .cloned()
+            .ok_or_else(|| format!("`{flag}` needs a value"))
+    };
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return Ok(None);
+            }
+            "--list-codes" => {
+                for c in DiagCode::all() {
+                    println!(
+                        "{}  {:7}  {}",
+                        c.code(),
+                        c.default_severity().name(),
+                        c.summary()
+                    );
+                }
+                return Ok(None);
+            }
+            "--all" => o.all = true,
+            "--format" => match need(&mut it, "--format")?.as_str() {
+                "json" => o.json = true,
+                "human" => o.json = false,
+                other => return Err(format!("unknown format `{other}`")),
+            },
+            "--deny" => {
+                let v = need(&mut it, "--deny")?;
+                if v == "warnings" {
+                    o.deny_warnings = true;
+                } else {
+                    o.deny.push(parse_code(&v)?);
+                }
+            }
+            "--allow" => o.allow.push(parse_code(&need(&mut it, "--allow")?)?),
+            "--width" => {
+                o.width = need(&mut it, "--width")?
+                    .parse()
+                    .map_err(|_| "`--width` needs an integer".to_string())?
+            }
+            "--ghist" => {
+                o.ghist_bits = need(&mut it, "--ghist")?
+                    .parse()
+                    .map_err(|_| "`--ghist` needs an integer".to_string())?
+            }
+            "--lhist" => {
+                o.lhist_entries = need(&mut it, "--lhist")?
+                    .parse()
+                    .map_err(|_| "`--lhist` needs an integer".to_string())?
+            }
+            "--meta-budget" => {
+                o.meta_budget_bits = need(&mut it, "--meta-budget")?
+                    .parse()
+                    .map_err(|_| "`--meta-budget` needs an integer".to_string())?
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown option `{flag}`")),
+            target => o.targets.push(target.to_string()),
+        }
+    }
+    if !o.all && o.targets.is_empty() {
+        return Err("no targets; pass design names, topology strings, or --all".into());
+    }
+    Ok(Some(o))
+}
+
+/// Applies deny/allow to a report's diagnostics in place.
+fn adjust_severities(report: &mut analysis::AnalysisReport, o: &Options) {
+    for d in &mut report.diagnostics {
+        if o.allow.contains(&d.code) && d.severity == Severity::Warning {
+            d.severity = Severity::Note;
+        } else if d.severity == Severity::Warning && (o.deny_warnings || o.deny.contains(&d.code)) {
+            d.severity = Severity::Error;
+        }
+    }
+}
+
+fn lint_one(target: &str, o: &Options) -> Result<analysis::AnalysisReport, String> {
+    let cfg = |reference_kb, paper_kb| AnalysisConfig {
+        width: o.width,
+        meta_budget_bits: o.meta_budget_bits,
+        reference_kb,
+        paper_kb,
+        ..AnalysisConfig::default()
+    };
+    let mut report = if let Some(design) = designs::by_name(target) {
+        let cfg = cfg(
+            reference::measured_storage_kb(&design.name),
+            reference::table1_storage_kb(&design.name),
+        );
+        analysis::analyze_design(&design, &cfg)
+    } else {
+        let registry = designs::stock_registry();
+        analysis::analyze_topology(
+            target,
+            target,
+            &registry,
+            o.ghist_bits,
+            o.lhist_entries,
+            &cfg(None, None),
+        )
+    }
+    .map_err(|e| {
+        // Parse failures never reach a report; render them in the same
+        // caret style so the span is still visible.
+        match e.span() {
+            Some(span) => format!("{e}\n  {target}\n  {}", span.caret_line()),
+            None => e.to_string(),
+        }
+    })?;
+    adjust_severities(&mut report, o);
+    Ok(report)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse_args(&args) {
+        Ok(Some(o)) => o,
+        Ok(None) => return ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("cobra-lint: {msg}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut targets = o.targets.clone();
+    if o.all {
+        targets.extend(designs::catalog().into_iter().map(|d| d.name));
+    }
+
+    let mut failed = false;
+    let mut json_reports = Vec::new();
+    for target in &targets {
+        match lint_one(target, &o) {
+            Ok(report) => {
+                if !report.is_clean(Severity::Error) {
+                    failed = true;
+                }
+                if o.json {
+                    json_reports.push(report.render_json());
+                } else {
+                    print!("{}", report.render_human());
+                }
+            }
+            Err(msg) => {
+                failed = true;
+                if o.json {
+                    json_reports.push(format!(
+                        "{{\"design\":{},\"error\":{}}}",
+                        json_str(target),
+                        json_str(&msg)
+                    ));
+                } else {
+                    eprintln!("cobra-lint: {target}: {msg}");
+                }
+            }
+        }
+    }
+    if o.json {
+        println!("[{}]", json_reports.join(","));
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Local JSON string escaping (mirrors the analyzer's serde-free output).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

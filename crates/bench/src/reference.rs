@@ -5,6 +5,34 @@
 pub const TABLE1_STORAGE_KB: [(&str, f64); 3] =
     [("Tournament", 6.8), ("B2", 6.5), ("TAGE-L", 28.0)];
 
+/// Component-storage accounting of this reproduction's stock designs, in
+/// kilobytes — the drift baseline for `cobra-lint`'s C0401 check.
+///
+/// These are *measured* from the component models, not the paper's Table I
+/// figures (this reproduction sizes a few structures differently, e.g. the
+/// 2K-entry BTB's payload); the paper numbers stay in
+/// [`TABLE1_STORAGE_KB`] and are reported as an informational delta
+/// (C0402). Update these values deliberately when a component's tables are
+/// resized.
+pub const MEASURED_STORAGE_KB: [(&str, f64); 3] =
+    [("Tournament", 14.0), ("B2", 20.8), ("TAGE-L", 28.1)];
+
+/// The measured baseline for `design`, when one is recorded.
+pub fn measured_storage_kb(design: &str) -> Option<f64> {
+    MEASURED_STORAGE_KB
+        .iter()
+        .find(|(n, _)| *n == design)
+        .map(|&(_, kb)| kb)
+}
+
+/// The paper's Table I figure for `design`, when one is recorded.
+pub fn table1_storage_kb(design: &str) -> Option<f64> {
+    TABLE1_STORAGE_KB
+        .iter()
+        .find(|(n, _)| *n == design)
+        .map(|&(_, kb)| kb)
+}
+
 /// Fig 10 reference series: approximate branch-MPKI read off the paper's
 /// figure for the three COBRA-BOOM variants, per benchmark
 /// (perlbench, gcc, mcf, omnetpp, xalancbmk, x264, deepsjeng, leela,

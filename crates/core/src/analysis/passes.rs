@@ -1,0 +1,477 @@
+//! The five static analysis passes (L1–L5).
+//!
+//! Each pass is a pure function from a [`DesignModel`] (plus the
+//! [`AnalysisConfig`]) to diagnostics. Pass order follows the issue's
+//! numbering; [`run_all`] runs structural checks first so later passes can
+//! assume per-component facts are sane.
+
+use super::diagnostics::{DiagCode, Diagnostic};
+use super::model::{ComponentInfo, DesignModel};
+use super::AnalysisConfig;
+use crate::composer::MAX_DEPTH;
+
+/// Runs every pass over `model` and returns the combined diagnostics,
+/// resolution findings first.
+pub fn run_all(model: &DesignModel, cfg: &AnalysisConfig) -> Vec<Diagnostic> {
+    let mut out = model.resolution.clone();
+    out.extend(structure(model));
+    out.extend(latency(model));
+    out.extend(metadata(model, cfg));
+    out.extend(storage(model, cfg));
+    out.extend(reachability(model));
+    out
+}
+
+/// L5 — structural checks: duplicate names, arity mismatches, invalid
+/// latency declarations, and history-provider requirements.
+pub fn structure(model: &DesignModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // Duplicate component names: event attribution and metadata accounting
+    // key off the label, so a repeated name is almost certainly a mistake.
+    for (i, c) in model.components.iter().enumerate() {
+        if let Some(first) = model.components[..i].iter().find(|p| p.label == c.label) {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::DuplicateComponent,
+                    format!(
+                        "component `{}` appears more than once (first at {})",
+                        c.label, first.span
+                    ),
+                )
+                .with_component(&c.label)
+                .with_span(c.span)
+                .with_hint("register the second instance under a distinct name"),
+            );
+        }
+    }
+    for c in &model.components {
+        if (c.arity >= 2 && c.declared_inputs != c.arity) || (c.arity <= 1 && c.declared_inputs > 1)
+        {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::ArityMismatch,
+                    format!(
+                        "`{}` declares arity {} but the topology supplies {} input(s)",
+                        c.label, c.arity, c.declared_inputs
+                    ),
+                )
+                .with_component(&c.label)
+                .with_span(c.span)
+                .with_hint(if c.arity >= 2 {
+                    format!("give `{}` exactly {} arbitration arms", c.label, c.arity)
+                } else {
+                    format!(
+                        "`{}` is a chain component; it takes at most one input",
+                        c.label
+                    )
+                }),
+            );
+        }
+        if c.latency == 0 || c.latency > MAX_DEPTH {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::InvalidLatency,
+                    format!(
+                        "`{}` declares latency {} (must be 1..={MAX_DEPTH})",
+                        c.label, c.latency
+                    ),
+                )
+                .with_component(&c.label)
+                .with_span(c.span),
+            );
+        }
+        if c.local_history_bits > 64 {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::LocalHistoryTooWide,
+                    format!(
+                        "`{}` wants {} local-history bits; the provider stores at most 64",
+                        c.label, c.local_history_bits
+                    ),
+                )
+                .with_component(&c.label)
+                .with_span(c.span)
+                .with_hint("reduce the component's local-history length to 64 bits or fewer"),
+            );
+        } else if c.local_history_bits > 0 && model.lhist_entries == 0 {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::LocalHistoryDisabled,
+                    format!(
+                        "`{}` wants {} local-history bits but the design declares no \
+                         local-history entries; the provider degenerates to a single entry",
+                        c.label, c.local_history_bits
+                    ),
+                )
+                .with_component(&c.label)
+                .with_span(c.span)
+                .with_hint("set the design's `lhist_entries` to a power of two (e.g. 256)"),
+            );
+        }
+        if c.required_ghist_bits > model.ghist_bits {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::GlobalHistoryShort,
+                    format!(
+                        "`{}` reads {} global-history bits but the design provides {}; \
+                         the longest histories will be truncated",
+                        c.label, c.required_ghist_bits, model.ghist_bits
+                    ),
+                )
+                .with_component(&c.label)
+                .with_span(c.span)
+                .with_hint(format!(
+                    "raise the design's `ghist_bits` to at least {}",
+                    c.required_ghist_bits
+                )),
+            );
+        }
+    }
+    out
+}
+
+/// L1 — latency monotonicity and override-window feasibility.
+///
+/// In `a > b`, `a` refines `b`'s prediction later in the pipeline; if `a`
+/// responds *earlier* than `b` the refinement contract runs backwards
+/// (C0201). A selector finalizes its choice at its own latency, so an arm
+/// containing a slower component would be arbitrated before it responds
+/// (C0202).
+pub fn latency(model: &DesignModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for a in &model.components {
+        if a.is_selector {
+            for &arm in &a.inputs {
+                for &i in &model.subtree(arm) {
+                    let c = &model.components[i];
+                    if c.latency > a.latency {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::SelectorBeforeArm,
+                                format!(
+                                    "selector `{}` (latency {}) arbitrates before arm \
+                                     component `{}` (latency {}) responds",
+                                    a.label, a.latency, c.label, c.latency
+                                ),
+                            )
+                            .with_component(&a.label)
+                            .with_span(c.span)
+                            .with_hint(format!(
+                                "raise `{}`'s latency to at least {}, or use a faster arm",
+                                a.label, c.latency
+                            )),
+                        );
+                    }
+                }
+            }
+        } else if let [below] = a.inputs[..] {
+            let b = &model.components[below];
+            if a.latency < b.latency {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::LatencyInversion,
+                        format!(
+                            "`{}` (latency {}) overrides `{}` (latency {}): the overriding \
+                             component must not respond earlier than the one it overrides",
+                            a.label, a.latency, b.label, b.latency
+                        ),
+                    )
+                    .with_component(&a.label)
+                    .with_span(a.span)
+                    .with_hint(format!(
+                        "swap the order to `{} > {}`, or retime `{}`",
+                        b.label, a.label, a.label
+                    )),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// L2 — metadata width budget, with per-component attribution.
+pub fn metadata(model: &DesignModel, cfg: &AnalysisConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for c in &model.components {
+        if c.meta_bits > 64 {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::MetaTooWide,
+                    format!(
+                        "`{}` declares {} metadata bits; the history file stores at most 64 \
+                         per component",
+                        c.label, c.meta_bits
+                    ),
+                )
+                .with_component(&c.label)
+                .with_span(c.span),
+            );
+        }
+    }
+    let total = model.meta_bits_total();
+    if total > cfg.meta_budget_bits {
+        let mut contributors: Vec<&ComponentInfo> = model.components.iter().collect();
+        contributors.sort_by(|x, y| y.meta_bits.cmp(&x.meta_bits).then(x.label.cmp(&y.label)));
+        let breakdown = contributors
+            .iter()
+            .map(|c| format!("{} {}b", c.label, c.meta_bits))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push(
+            Diagnostic::new(
+                DiagCode::MetaBudgetExceeded,
+                format!(
+                    "total metadata is {total} bits against a {}-bit history-file budget \
+                     ({breakdown})",
+                    cfg.meta_budget_bits
+                ),
+            )
+            .with_hint("shrink the widest contributors or raise the budget (--meta-budget)"),
+        );
+    }
+    out
+}
+
+/// L3 — storage accounting per component and total, cross-checked against
+/// reference figures when the config supplies them.
+pub fn storage(model: &DesignModel, cfg: &AnalysisConfig) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let total_kb = model.component_storage_bits() as f64 / 8192.0;
+    let mut parts: Vec<&ComponentInfo> = model.components.iter().collect();
+    parts.sort_by(|x, y| {
+        y.storage_bits
+            .cmp(&x.storage_bits)
+            .then(x.label.cmp(&y.label))
+    });
+    let breakdown = parts
+        .iter()
+        .map(|c| format!("{} {:.2} KB", c.label, c.storage_bits as f64 / 8192.0))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let paper = match cfg.paper_kb {
+        Some(p) if p > 0.0 => {
+            format!(
+                "; paper Table 1 lists {:.1} KB ({:+.0}%)",
+                p,
+                (total_kb / p - 1.0) * 100.0
+            )
+        }
+        _ => String::new(),
+    };
+    out.push(Diagnostic::new(
+        DiagCode::StorageSummary,
+        format!("component storage {total_kb:.2} KB ({breakdown}){paper}"),
+    ));
+    if let Some(reference) = cfg.reference_kb {
+        if reference > 0.0 {
+            let drift = (total_kb / reference - 1.0).abs();
+            if drift > cfg.storage_tolerance {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::StorageDrift,
+                        format!(
+                            "component storage {total_kb:.2} KB deviates {:.0}% from the \
+                             reference accounting of {reference:.2} KB (tolerance {:.0}%)",
+                            drift * 100.0,
+                            cfg.storage_tolerance * 100.0
+                        ),
+                    )
+                    .with_hint(
+                        "component table sizes changed; update the reference in \
+                         crates/bench/src/reference.rs if this is intentional",
+                    ),
+                );
+            }
+        }
+    }
+    out
+}
+
+/// L4 — reachability/shadowing: components whose predictions can never
+/// survive composition.
+pub fn reachability(model: &DesignModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for a in &model.components {
+        if a.is_selector {
+            continue;
+        }
+        let [below] = a.inputs[..] else { continue };
+        let b = &model.components[below];
+        // `b`'s output is only acted on at stages where `a` has not yet
+        // responded (a pass-through window) or where `a` declines to
+        // provide a field. If `a` responds no later than `b` AND always
+        // provides every field `b` may produce, `b` is dead weight.
+        let shadowed = a.latency <= b.latency
+            && !b.profile.may.is_empty()
+            && a.profile.always.contains(b.profile.may);
+        if shadowed {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::ShadowedComponent,
+                    format!(
+                        "`{}` can never contribute: `{}` responds at stage {} (≤ {}) and \
+                         always provides {:?}",
+                        b.label,
+                        a.label,
+                        a.latency,
+                        b.latency,
+                        a.profile.always.names()
+                    ),
+                )
+                .with_component(&b.label)
+                .with_span(b.span)
+                .with_hint(format!(
+                    "remove `{}` or reorder it above `{}`",
+                    b.label, a.label
+                )),
+            );
+            continue;
+        }
+        let overlap = a.profile.always.intersect(b.profile.may);
+        if a.latency == b.latency && !overlap.is_empty() {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::ZeroOverrideWindow,
+                    format!(
+                        "`{}` and `{}` respond at the same stage ({}), and `{}` always \
+                         overrides {:?}: those fields of `{}` are never used",
+                        a.label,
+                        b.label,
+                        a.latency,
+                        a.label,
+                        overlap.names(),
+                        b.label
+                    ),
+                )
+                .with_component(&b.label)
+                .with_span(b.span)
+                .with_hint(format!(
+                    "give `{}` a smaller latency than `{}` to open an override window",
+                    b.label, a.label
+                )),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs;
+
+    fn model_for(topo: &str, ghist: u32, lhist: u64) -> DesignModel {
+        // A registry containing every stock component name.
+        let reg = designs::stock_registry();
+        DesignModel::build("test", topo, &reg, 8, ghist, lhist).unwrap()
+    }
+
+    #[test]
+    fn latency_inversion_detected() {
+        let m = model_for("UBTB1 > BIM2", 16, 0);
+        let diags = latency(&m);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::LatencyInversion);
+        assert_eq!(diags[0].component.as_deref(), Some("UBTB1"));
+        // Span points at the overrider.
+        assert_eq!(diags[0].span, Some(crate::error::Span::new(0, 5)));
+    }
+
+    #[test]
+    fn selector_before_arm_detected() {
+        // TOURNEY3 arbitrates at stage 3; a TAGE3>BIM2 arm is fine, but an
+        // arm containing a (hypothetically) slower component is not. Use
+        // TAGE3 with the 2-deep chain and a selector that's too fast — the
+        // stock registry has no fast selector, so check the clean case and
+        // the subtree walk instead.
+        let m = model_for("TOURNEY3 > [TAGE3 > BIM2, LBIM2]", 64, 256);
+        assert!(latency(&m).is_empty(), "equal-latency arm is legal");
+    }
+
+    #[test]
+    fn duplicate_names_flagged() {
+        let m = model_for("BIM2 > BIM2", 0, 0);
+        let diags = structure(&m);
+        assert!(diags.iter().any(|d| d.code == DiagCode::DuplicateComponent));
+    }
+
+    #[test]
+    fn short_global_history_warns() {
+        let m = model_for("TAGE3 > BIM2", 16, 0);
+        let diags = structure(&m);
+        let d = diags
+            .iter()
+            .find(|d| d.code == DiagCode::GlobalHistoryShort)
+            .expect("TAGE reads 64 bits, design provides 16");
+        assert_eq!(d.component.as_deref(), Some("TAGE3"));
+    }
+
+    #[test]
+    fn missing_local_history_warns() {
+        let m = model_for("LBIM2 > BIM2", 16, 0);
+        let diags = structure(&m);
+        assert!(diags
+            .iter()
+            .any(|d| d.code == DiagCode::LocalHistoryDisabled));
+        let ok = model_for("LBIM2 > BIM2", 16, 256);
+        assert!(structure(&ok)
+            .iter()
+            .all(|d| d.code != DiagCode::LocalHistoryDisabled));
+    }
+
+    #[test]
+    fn full_shadow_detected() {
+        // BIM2 always provides `taken` at stage 2; GBIM2 may only provide
+        // `taken` and responds at the same stage — fully shadowed.
+        let m = model_for("BIM2 > GBIM2", 16, 0);
+        let diags = reachability(&m);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::ShadowedComponent);
+        assert_eq!(diags[0].component.as_deref(), Some("GBIM2"));
+    }
+
+    #[test]
+    fn zero_window_needs_field_overlap() {
+        // LOOP3 > TAGE3: equal latency but LOOP's `always` is empty — a
+        // conditional overrider leaves TAGE reachable. No warning.
+        let m = model_for("LOOP3 > TAGE3 > BIM2", 64, 0);
+        assert!(reachability(&m).is_empty());
+    }
+
+    #[test]
+    fn meta_budget_attribution() {
+        let m = model_for("LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1", 64, 0);
+        let cfg = AnalysisConfig {
+            meta_budget_bits: 100,
+            ..AnalysisConfig::default()
+        };
+        let diags = metadata(&m, &cfg);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::MetaBudgetExceeded);
+        assert!(
+            diags[0].message.contains("TAGE3 58b"),
+            "{}",
+            diags[0].message
+        );
+    }
+
+    #[test]
+    fn storage_drift_uses_tolerance() {
+        let m = model_for("BIM2 > UBTB1", 0, 0);
+        let actual = m.component_storage_bits() as f64 / 8192.0;
+        let near = AnalysisConfig {
+            reference_kb: Some(actual * 1.1),
+            ..AnalysisConfig::default()
+        };
+        assert!(storage(&m, &near)
+            .iter()
+            .all(|d| d.code != DiagCode::StorageDrift));
+        let far = AnalysisConfig {
+            reference_kb: Some(actual * 2.0),
+            ..AnalysisConfig::default()
+        };
+        assert!(storage(&m, &far)
+            .iter()
+            .any(|d| d.code == DiagCode::StorageDrift));
+    }
+}

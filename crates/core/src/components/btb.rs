@@ -7,7 +7,7 @@
 //! affordable by the metadata field, which records the hit way at predict
 //! time so the update needs no second tag-match (Section III-G2).
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SramModel};
@@ -153,6 +153,14 @@ impl Component for Btb {
 
     fn meta_bits(&self) -> u32 {
         self.cfg.width as u32 * 4
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // Populates kind and target on a hit, nothing on a miss.
+        FieldProfile {
+            may: FieldSet::KIND.union(FieldSet::TARGET),
+            always: FieldSet::NONE,
+        }
     }
 
     fn storage(&self) -> StorageReport {

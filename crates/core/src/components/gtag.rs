@@ -7,7 +7,7 @@
 //! it predicts nothing (pass-through); entries are allocated when the
 //! pipeline mispredicts.
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{HistoryRegister, PortKind, SaturatingCounter, SramModel};
@@ -128,6 +128,18 @@ impl Component for Gtag {
 
     fn meta_bits(&self) -> u32 {
         1 + self.cfg.width as u32 * self.cfg.counter_bits as u32
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // Overrides the direction on a tag hit, nothing on a miss.
+        FieldProfile {
+            may: FieldSet::TAKEN,
+            always: FieldSet::NONE,
+        }
+    }
+
+    fn required_ghist_bits(&self) -> u32 {
+        self.cfg.hist_bits
     }
 
     fn storage(&self) -> StorageReport {

@@ -8,7 +8,7 @@
 //! with a parameterized indexing option, so they can be indexed by a global
 //! history, local history, PC, or any hashed combination of the above".
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SaturatingCounter, SramModel};
@@ -59,6 +59,16 @@ impl IndexScheme {
     pub fn local_history_bits(self) -> u32 {
         match self {
             IndexScheme::LocalHistory { bits } => bits,
+            _ => 0,
+        }
+    }
+
+    /// Global-history bits this scheme reads from the provider.
+    pub fn global_history_bits(self) -> u32 {
+        match self {
+            IndexScheme::GlobalHistory { bits } => bits,
+            IndexScheme::GShare { hist_bits } => hist_bits,
+            IndexScheme::GSelect { hist_bits, .. } => hist_bits,
             _ => 0,
         }
     }
@@ -270,6 +280,19 @@ impl Component for Hbim {
 
     fn local_history_bits(&self) -> u32 {
         self.cfg.index.local_history_bits()
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // A bimodal table produces a direction for every slot on every
+        // query, so it unconditionally populates `taken`.
+        FieldProfile {
+            may: FieldSet::TAKEN,
+            always: FieldSet::TAKEN,
+        }
+    }
+
+    fn required_ghist_bits(&self) -> u32 {
+        self.cfg.index.global_history_bits()
     }
 
     fn storage(&self) -> StorageReport {

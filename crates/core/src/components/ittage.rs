@@ -13,7 +13,7 @@
 //! as indirect jumps, passing everything else through — the same
 //! decoupling the paper's Fig 3 shows for the BTB.
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{HistoryRegister, PortKind, SaturatingCounter, SramModel};
@@ -155,6 +155,18 @@ impl Component for Ittage {
 
     fn meta_bits(&self) -> u32 {
         8
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // Overrides the target of indirect branches on a tagged hit only.
+        FieldProfile {
+            may: FieldSet::TARGET,
+            always: FieldSet::NONE,
+        }
+    }
+
+    fn required_ghist_bits(&self) -> u32 {
+        self.cfg.hist_lengths.iter().copied().max().unwrap_or(0)
     }
 
     fn storage(&self) -> StorageReport {

@@ -12,7 +12,9 @@
 //! the metadata field to restore the counter contents that speculation
 //! corrupted.
 
-use crate::iface::{Component, FireEvent, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, FireEvent, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 
@@ -126,6 +128,15 @@ impl Component for LoopPredictor {
 
     fn meta_bits(&self) -> u32 {
         18
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // Speaks only on confidently-tracked loops, so nothing is
+        // guaranteed on an arbitrary query.
+        FieldProfile {
+            may: FieldSet::TAKEN,
+            always: FieldSet::NONE,
+        }
     }
 
     fn storage(&self) -> StorageReport {

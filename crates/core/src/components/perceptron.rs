@@ -12,7 +12,7 @@
 //! it re-reads weights at update time — the physical cost shows up as an
 //! extra read port in its storage declaration.
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SramModel};
@@ -119,6 +119,19 @@ impl Component for Perceptron {
 
     fn meta_bits(&self) -> u32 {
         19
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // The dot product always yields a direction (the pipeline always
+        // supplies histories to a latency ≥ 2 component).
+        FieldProfile {
+            may: FieldSet::TAKEN,
+            always: FieldSet::TAKEN,
+        }
+    }
+
+    fn required_ghist_bits(&self) -> u32 {
+        self.cfg.hist_len
     }
 
     fn storage(&self) -> StorageReport {

@@ -9,7 +9,7 @@
 //! history lengths vote, and when their combined confidence is high they
 //! override the incoming direction.
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SramModel};
@@ -141,6 +141,18 @@ impl Component for StatisticalCorrector {
 
     fn meta_bits(&self) -> u32 {
         16
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // Reverts the incoming direction only when statistically confident.
+        FieldProfile {
+            may: FieldSet::TAKEN,
+            always: FieldSet::NONE,
+        }
+    }
+
+    fn required_ghist_bits(&self) -> u32 {
+        self.cfg.hist_lengths.iter().copied().max().unwrap_or(0)
     }
 
     fn storage(&self) -> StorageReport {

@@ -20,7 +20,7 @@
 //! a second read port (Section III-G4: "the metadata field is used to track
 //! the index of the provider and allocator tables").
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport, MAX_FETCH_WIDTH};
 use cobra_sim::bits;
 use cobra_sim::{HistoryRegister, PortKind, SaturatingCounter, SplitMix64, SramModel};
@@ -229,6 +229,19 @@ impl Component for Tage {
 
     fn meta_bits(&self) -> u32 {
         58
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // Overrides the direction on a tagged hit (or via the base table's
+        // alternate), nothing when no table provides.
+        FieldProfile {
+            may: FieldSet::TAKEN,
+            always: FieldSet::NONE,
+        }
+    }
+
+    fn required_ghist_bits(&self) -> u32 {
+        self.cfg.hist_lengths.last().copied().unwrap_or(0)
     }
 
     fn storage(&self) -> StorageReport {

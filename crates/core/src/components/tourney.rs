@@ -8,7 +8,7 @@
 //! selector uses the metadata field to track the predictions made by the
 //! sub-predictors to determine an update for the counter table").
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SaturatingCounter, SramModel};
@@ -116,6 +116,19 @@ impl Component for Tourney {
 
     fn meta_bits(&self) -> u32 {
         34
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // An arbiter forwards whichever arm it selects, so any field may
+        // appear; it guarantees none of its own.
+        FieldProfile {
+            may: FieldSet::ALL,
+            always: FieldSet::NONE,
+        }
+    }
+
+    fn required_ghist_bits(&self) -> u32 {
+        self.cfg.hist_bits
     }
 
     fn storage(&self) -> StorageReport {

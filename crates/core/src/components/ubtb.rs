@@ -7,7 +7,7 @@
 //! on the slot PC alone and carries a small direction counter so it can
 //! provide a complete (kind + direction + target) prediction by itself.
 
-use crate::iface::{Component, PredictQuery, Response, UpdateEvent};
+use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::SaturatingCounter;
 
@@ -101,6 +101,15 @@ impl Component for MicroBtb {
 
     fn meta_bits(&self) -> u32 {
         self.cfg.width as u32 * 7
+    }
+
+    fn field_profile(&self) -> FieldProfile {
+        // Populates kind/target (and taken for conditionals) on a hit,
+        // nothing on a miss.
+        FieldProfile {
+            may: FieldSet::ALL,
+            always: FieldSet::NONE,
+        }
     }
 
     fn storage(&self) -> StorageReport {

@@ -151,7 +151,20 @@ impl BranchPredictorUnit {
     /// compilation.
     pub fn build(design: &Design, cfg: BpuConfig) -> Result<Self, ComposeError> {
         let pipeline = PredictorPipeline::from_design(design, cfg.fetch_width)?;
+        // Static analysis gate: reject designs with error-level findings
+        // (latency inversions, shadowed components, over-wide metadata, …)
+        // with structured diagnostics instead of building a pipeline whose
+        // composition semantics are silently broken.
+        crate::analysis::gate_design(design, cfg.fetch_width)?;
         let lhist_bits = pipeline.local_history_bits();
+        if lhist_bits > 64 {
+            return Err(ComposeError::LocalHistoryTooWide {
+                component: pipeline
+                    .widest_local_history_component()
+                    .unwrap_or_default(),
+                bits: lhist_bits,
+            });
+        }
         let lhist_entries = if lhist_bits == 0 {
             1
         } else {
@@ -408,6 +421,12 @@ impl BranchPredictorUnit {
     pub fn accept(&mut self, id: PacketId, bundle: PredictionBundle) {
         let Some(e) = self.hf.get_mut(id) else { return };
         debug_assert_eq!(e.phase, EntryPhase::Fetching, "double accept");
+        if crate::sanitize::enabled() && e.phase != EntryPhase::Fetching {
+            crate::sanitize::violation(&format!(
+                "packet {id} accepted twice (already in the {:?} phase)",
+                e.phase
+            ));
+        }
         e.phase = EntryPhase::Accepted;
         e.pred = bundle;
         let pc = e.pc;

@@ -28,7 +28,7 @@ pub use bpu::{
     BpuConfig, BpuStats, BranchPredictorUnit, CommittedPacket, GhistRepairMode, PacketId,
 };
 pub use history_file::{HistoryFile, HistoryFileEntry};
-pub use pipeline::{PacketPrediction, PredictorPipeline, StageDescription};
+pub use pipeline::{PacketPrediction, PredictorPipeline, StageDescription, MAX_DEPTH};
 pub use providers::{GlobalHistoryProvider, LocalHistoryProvider, PathHistoryProvider};
 pub use registry::{ComponentRegistry, Design};
 pub use topology::Topology;

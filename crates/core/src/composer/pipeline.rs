@@ -119,6 +119,7 @@ impl PredictorPipeline {
                         reason: format!(
                             "the left operand of `>` must be a single component, found `{other}`"
                         ),
+                        span: crate::error::Span::point(0),
                     }),
                 }
             }
@@ -200,6 +201,16 @@ impl PredictorPipeline {
             .map(|n| n.component.local_history_bits())
             .max()
             .unwrap_or(0)
+    }
+
+    /// Label of the component requesting the most local-history bits (for
+    /// error attribution).
+    pub fn widest_local_history_component(&self) -> Option<String> {
+        self.nodes
+            .iter()
+            .max_by_key(|n| n.component.local_history_bits())
+            .filter(|n| n.component.local_history_bits() > 0)
+            .map(|n| n.label.clone())
     }
 
     /// Total metadata bits per history-file entry (sum over components).
@@ -308,6 +319,9 @@ impl PredictorPipeline {
                 }
             }
             stages.push(outs[self.final_node]);
+            if crate::sanitize::enabled() && d >= 2 {
+                check_refinement(pc, d, &stages[d as usize - 2], &stages[d as usize - 1]);
+            }
         }
         PacketPrediction { stages, metas }
     }
@@ -320,6 +334,7 @@ impl PredictorPipeline {
         metas: &[Meta],
         pred: &PredictionBundle,
     ) {
+        self.check_meta_tokens("fire", metas);
         for (node, &meta) in self.nodes.iter_mut().zip(metas) {
             node.component.fire(&FireEvent {
                 pc,
@@ -338,6 +353,7 @@ impl PredictorPipeline {
         metas: &[Meta],
         pred: &PredictionBundle,
     ) {
+        self.check_meta_tokens("repair", metas);
         for (node, &meta) in self.nodes.iter_mut().zip(metas) {
             node.component.repair(&FireEvent {
                 pc,
@@ -350,6 +366,7 @@ impl PredictorPipeline {
 
     /// Broadcasts a `mispredict` event.
     pub fn mispredict(&mut self, ev_base: &UpdateEvent<'_>, metas: &[Meta]) {
+        self.check_meta_tokens("mispredict", metas);
         for (node, &meta) in self.nodes.iter_mut().zip(metas) {
             node.component.mispredict(&UpdateEvent { meta, ..*ev_base });
         }
@@ -357,8 +374,44 @@ impl PredictorPipeline {
 
     /// Broadcasts a commit-time `update` event.
     pub fn update(&mut self, ev_base: &UpdateEvent<'_>, metas: &[Meta]) {
+        self.check_meta_tokens("update", metas);
         for (node, &meta) in self.nodes.iter_mut().zip(metas) {
             node.component.update(&UpdateEvent { meta, ..*ev_base });
+        }
+    }
+
+    /// Sanitizer hook: every event broadcast must carry exactly one
+    /// metadata word per component — a mismatch means a history-file token
+    /// was built for a different pipeline or truncated in flight.
+    #[inline]
+    fn check_meta_tokens(&self, event: &str, metas: &[Meta]) {
+        if crate::sanitize::enabled() && metas.len() != self.nodes.len() {
+            crate::sanitize::violation(&format!(
+                "{event} broadcast carries {} metadata word(s) for {} component(s)",
+                metas.len(),
+                self.nodes.len()
+            ));
+        }
+    }
+}
+
+/// Sanitizer hook: composed predictions must refine monotonically — a slot
+/// resolved at stage `d-1` (kind, direction, or target known) must still
+/// be resolved at stage `d`. Values may change (that is an override);
+/// knowledge may not be un-learned.
+fn check_refinement(pc: u64, stage: u8, prev: &PredictionBundle, cur: &PredictionBundle) {
+    for i in 0..prev.width() as usize {
+        let p = prev.slot(i);
+        let c = cur.slot(i);
+        let dropped = (p.kind.is_some() && c.kind.is_none())
+            || (p.taken.is_some() && c.taken.is_none())
+            || (p.target.is_some() && c.target.is_none());
+        if dropped {
+            crate::sanitize::violation(&format!(
+                "monotonic refinement violated at pc {pc:#x} slot {i}: stage {} predicted \
+                 {p:?} but stage {stage} degraded it to {c:?}",
+                stage - 1
+            ));
         }
     }
 }

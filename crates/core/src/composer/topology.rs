@@ -13,8 +13,13 @@
 //! assert_eq!(t.component_names(), vec!["LOOP3", "TOURNEY3", "GBIM2", "BTB2", "LBIM2"]);
 //! # Ok::<(), cobra_core::ComposeError>(())
 //! ```
+//!
+//! Every parse error carries a [`Span`] pointing at the offending byte
+//! range, and [`Topology::parse_spanned`] additionally returns the span of
+//! each component name (in [`Topology::component_names`] order) so
+//! diagnostics can point back into the source text.
 
-use crate::error::ComposeError;
+use crate::error::{ComposeError, Span};
 use std::fmt;
 
 /// A predictor topology: the ordering of sub-components that defines which
@@ -51,17 +56,42 @@ impl Topology {
     ///
     /// # Errors
     ///
-    /// Returns [`ComposeError::Parse`] on malformed input.
+    /// Returns [`ComposeError::Parse`] on malformed input; the error's
+    /// `span` field covers the offending byte range of `text`.
     pub fn parse(text: &str) -> Result<Self, ComposeError> {
+        Self::parse_spanned(text).map(|(t, _)| t)
+    }
+
+    /// Parses like [`parse`](Self::parse) but also returns the byte span of
+    /// each component name, in the same order as
+    /// [`component_names`](Self::component_names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComposeError::Parse`] on malformed input.
+    pub fn parse_spanned(text: &str) -> Result<(Self, Vec<Span>), ComposeError> {
         let tokens = tokenize(text)?;
-        let mut p = Parser { tokens, pos: 0 };
-        let t = p.parse_expr()?;
-        if p.pos != p.tokens.len() {
+        // NAME tokens appear in the token stream in textual order, which is
+        // exactly `component_names` order (override order visits the chain
+        // left-to-right and an arbiter's selector before its arms).
+        let name_spans: Vec<Span> = tokens
+            .iter()
+            .filter(|t| matches!(t.tok, Token::Name(_)))
+            .map(|t| t.span)
+            .collect();
+        let mut p = Parser {
+            tokens,
+            pos: 0,
+            eof: text.len(),
+        };
+        let (t, _) = p.parse_expr()?;
+        if let Some(stray) = p.peek_spanned() {
             return Err(ComposeError::Parse {
-                reason: format!("unexpected trailing input at token {}", p.pos),
+                reason: format!("unexpected trailing input `{}`", stray.tok.describe()),
+                span: stray.span,
             });
         }
-        Ok(t)
+        Ok((t, name_spans))
     }
 
     /// All component names in override order (stronger first, arbiter
@@ -135,53 +165,84 @@ enum Token {
     Comma,
 }
 
-fn tokenize(text: &str) -> Result<Vec<Token>, ComposeError> {
+impl Token {
+    fn describe(&self) -> String {
+        match self {
+            Token::Name(n) => n.clone(),
+            Token::Gt => ">".into(),
+            Token::LParen => "(".into(),
+            Token::RParen => ")".into(),
+            Token::LBracket => "[".into(),
+            Token::RBracket => "]".into(),
+            Token::Comma => ",".into(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct SpannedToken {
+    tok: Token,
+    span: Span,
+}
+
+fn tokenize(text: &str) -> Result<Vec<SpannedToken>, ComposeError> {
     let mut tokens = Vec::new();
-    let mut chars = text.chars().peekable();
-    while let Some(&c) = chars.peek() {
+    let mut chars = text.char_indices().peekable();
+    while let Some(&(at, c)) = chars.peek() {
+        let simple = |tok| SpannedToken {
+            tok,
+            span: Span::new(at, at + c.len_utf8()),
+        };
         match c {
             ' ' | '\t' | '\n' | '\r' => {
                 chars.next();
             }
             '>' => {
                 chars.next();
-                tokens.push(Token::Gt);
+                tokens.push(simple(Token::Gt));
             }
             '(' => {
                 chars.next();
-                tokens.push(Token::LParen);
+                tokens.push(simple(Token::LParen));
             }
             ')' => {
                 chars.next();
-                tokens.push(Token::RParen);
+                tokens.push(simple(Token::RParen));
             }
             '[' => {
                 chars.next();
-                tokens.push(Token::LBracket);
+                tokens.push(simple(Token::LBracket));
             }
             ']' => {
                 chars.next();
-                tokens.push(Token::RBracket);
+                tokens.push(simple(Token::RBracket));
             }
             ',' => {
                 chars.next();
-                tokens.push(Token::Comma);
+                tokens.push(simple(Token::Comma));
             }
             c if c.is_ascii_alphanumeric() || c == '_' || c == '-' => {
+                let start = at;
+                let mut end = at;
                 let mut name = String::new();
-                while let Some(&c) = chars.peek() {
+                while let Some(&(i, c)) = chars.peek() {
                     if c.is_ascii_alphanumeric() || c == '_' || c == '-' {
                         name.push(c);
+                        end = i + c.len_utf8();
                         chars.next();
                     } else {
                         break;
                     }
                 }
-                tokens.push(Token::Name(name));
+                tokens.push(SpannedToken {
+                    tok: Token::Name(name),
+                    span: Span::new(start, end),
+                });
             }
             other => {
                 return Err(ComposeError::Parse {
                     reason: format!("unexpected character `{other}`"),
+                    span: Span::new(at, at + other.len_utf8()),
                 })
             }
         }
@@ -189,22 +250,28 @@ fn tokenize(text: &str) -> Result<Vec<Token>, ComposeError> {
     if tokens.is_empty() {
         return Err(ComposeError::Parse {
             reason: "empty topology".into(),
+            span: Span::new(0, text.len()),
         });
     }
     Ok(tokens)
 }
 
 struct Parser {
-    tokens: Vec<Token>,
+    tokens: Vec<SpannedToken>,
     pos: usize,
+    eof: usize,
 }
 
 impl Parser {
     fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.tok)
+    }
+
+    fn peek_spanned(&self) -> Option<&SpannedToken> {
         self.tokens.get(self.pos)
     }
 
-    fn next(&mut self) -> Option<Token> {
+    fn next(&mut self) -> Option<SpannedToken> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {
             self.pos += 1;
@@ -212,17 +279,31 @@ impl Parser {
         t
     }
 
-    fn expect(&mut self, want: Token) -> Result<(), ComposeError> {
+    /// Span to report when the input ends too early.
+    fn eof_span(&self) -> Span {
+        Span::point(self.eof)
+    }
+
+    fn expect(&mut self, want: Token) -> Result<Span, ComposeError> {
         match self.next() {
-            Some(t) if t == want => Ok(()),
-            other => Err(ComposeError::Parse {
-                reason: format!("expected {want:?}, found {other:?}"),
+            Some(t) if t.tok == want => Ok(t.span),
+            Some(t) => Err(ComposeError::Parse {
+                reason: format!(
+                    "expected `{}`, found `{}`",
+                    want.describe(),
+                    t.tok.describe()
+                ),
+                span: t.span,
+            }),
+            None => Err(ComposeError::Parse {
+                reason: format!("expected `{}`, found end of input", want.describe()),
+                span: self.eof_span(),
             }),
         }
     }
 
-    fn parse_expr(&mut self) -> Result<Topology, ComposeError> {
-        let left = self.parse_unit()?;
+    fn parse_expr(&mut self) -> Result<(Topology, Span), ComposeError> {
+        let (left, left_span) = self.parse_unit()?;
         if self.peek() == Some(&Token::Gt) {
             self.next();
             if self.peek() == Some(&Token::LBracket) {
@@ -233,52 +314,87 @@ impl Parser {
                             reason: format!(
                                 "arbiter selector must be a single component, found `{other}`"
                             ),
+                            span: left_span,
                         })
                     }
                 };
-                let inputs = self.parse_list()?;
-                return Ok(Topology::Arbiter { selector, inputs });
+                let (inputs, list_span) = self.parse_list()?;
+                let span = Span::new(left_span.start, list_span.end);
+                return Ok((Topology::Arbiter { selector, inputs }, span));
             }
-            let right = self.parse_expr()?;
-            return Ok(Topology::Over(Box::new(left), Box::new(right)));
+            let (right, right_span) = self.parse_expr()?;
+            let span = Span::new(left_span.start, right_span.end);
+            return Ok((Topology::Over(Box::new(left), Box::new(right)), span));
         }
-        Ok(left)
+        Ok((left, left_span))
     }
 
-    fn parse_unit(&mut self) -> Result<Topology, ComposeError> {
+    fn parse_unit(&mut self) -> Result<(Topology, Span), ComposeError> {
         match self.next() {
-            Some(Token::Name(n)) => Ok(Topology::Leaf(n)),
-            Some(Token::LParen) => {
-                let inner = self.parse_expr()?;
-                self.expect(Token::RParen)?;
-                Ok(inner)
+            Some(SpannedToken {
+                tok: Token::Name(n),
+                span,
+            }) => Ok((Topology::Leaf(n), span)),
+            Some(SpannedToken {
+                tok: Token::LParen,
+                span,
+            }) => {
+                let (inner, _) = self.parse_expr()?;
+                let close = self.expect(Token::RParen)?;
+                Ok((inner, Span::new(span.start, close.end)))
             }
-            other => Err(ComposeError::Parse {
-                reason: format!("expected a component name or `(`, found {other:?}"),
+            Some(t) => Err(ComposeError::Parse {
+                reason: format!(
+                    "expected a component name or `(`, found `{}`",
+                    t.tok.describe()
+                ),
+                span: t.span,
+            }),
+            None => Err(ComposeError::Parse {
+                reason: "expected a component name or `(`, found end of input".into(),
+                span: self.eof_span(),
             }),
         }
     }
 
-    fn parse_list(&mut self) -> Result<Vec<Topology>, ComposeError> {
-        self.expect(Token::LBracket)?;
-        let mut items = vec![self.parse_expr()?];
+    fn parse_list(&mut self) -> Result<(Vec<Topology>, Span), ComposeError> {
+        let open = self.expect(Token::LBracket)?;
+        let mut items = vec![self.parse_expr()?.0];
+        let close;
         loop {
             match self.next() {
-                Some(Token::Comma) => items.push(self.parse_expr()?),
-                Some(Token::RBracket) => break,
-                other => {
+                Some(SpannedToken {
+                    tok: Token::Comma, ..
+                }) => items.push(self.parse_expr()?.0),
+                Some(SpannedToken {
+                    tok: Token::RBracket,
+                    span,
+                }) => {
+                    close = span;
+                    break;
+                }
+                Some(t) => {
                     return Err(ComposeError::Parse {
-                        reason: format!("expected `,` or `]`, found {other:?}"),
+                        reason: format!("expected `,` or `]`, found `{}`", t.tok.describe()),
+                        span: t.span,
+                    })
+                }
+                None => {
+                    return Err(ComposeError::Parse {
+                        reason: "unclosed `[`: expected `,` or `]`, found end of input".into(),
+                        span: open,
                     })
                 }
             }
         }
+        let span = Span::new(open.start, close.end);
         if items.len() < 2 {
             return Err(ComposeError::Parse {
                 reason: "an arbiter needs at least two inputs".into(),
+                span,
             });
         }
-        Ok(items)
+        Ok((items, span))
     }
 }
 
@@ -371,14 +487,75 @@ mod tests {
     }
 
     #[test]
-    fn rejects_single_input_arbiter() {
-        let e = Topology::parse("T3 > [A2]").unwrap_err();
-        assert!(matches!(e, ComposeError::Parse { .. }));
+    fn spanned_names_match_component_order() {
+        let text = "TOURNEY3 > [GBIM2 > BTB2, LBIM2]";
+        let (t, spans) = Topology::parse_spanned(text).unwrap();
+        let names = t.component_names();
+        assert_eq!(names.len(), spans.len());
+        for (name, span) in names.iter().zip(&spans) {
+            assert_eq!(&&text[span.start..span.end], name);
+        }
     }
 
     #[test]
-    fn rejects_trailing_garbage() {
-        assert!(Topology::parse("A > B C").is_err());
+    fn rejects_single_input_arbiter() {
+        let e = Topology::parse("T3 > [A2]").unwrap_err();
+        assert!(matches!(e, ComposeError::Parse { .. }));
+        // The span covers the whole bracket list.
+        assert_eq!(e.span(), Some(Span::new(5, 9)));
+    }
+
+    #[test]
+    fn rejects_unbalanced_bracket_with_span_of_open() {
+        let text = "T3 > [A2, B2";
+        let e = Topology::parse(text).unwrap_err();
+        match e {
+            ComposeError::Parse { reason, span } => {
+                assert!(reason.contains("unclosed `[`"), "reason: {reason}");
+                assert_eq!(span, Span::new(5, 6), "span must point at the `[`");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_empty_arm_with_span() {
+        // `]` directly after the comma: the empty arm's "unit" is the `]`.
+        let text = "T3 > [A2, ]";
+        let e = Topology::parse(text).unwrap_err();
+        match e {
+            ComposeError::Parse { reason, span } => {
+                assert!(reason.contains("expected a component name"), "{reason}");
+                assert_eq!(span, Span::new(10, 11), "span must point at the `]`");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_gt_with_eof_span() {
+        let text = "A2 > B2 >";
+        let e = Topology::parse(text).unwrap_err();
+        match e {
+            ComposeError::Parse { reason, span } => {
+                assert!(reason.contains("end of input"), "{reason}");
+                assert_eq!(span, Span::point(text.len()));
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_trailing_garbage_with_span() {
+        let text = "A > B C";
+        let e = Topology::parse(text).unwrap_err();
+        match e {
+            ComposeError::Parse { reason, span } => {
+                assert!(reason.contains("trailing"), "{reason}");
+                assert_eq!(span, Span::new(6, 7), "span must point at `C`");
+            }
+            other => panic!("expected parse error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -388,11 +565,14 @@ mod tests {
 
     #[test]
     fn rejects_compound_selector() {
-        assert!(Topology::parse("(A > B) > [C, D]").is_err());
+        let e = Topology::parse("(A > B) > [C, D]").unwrap_err();
+        // Span covers the parenthesized selector expression.
+        assert_eq!(e.span(), Some(Span::new(0, 7)));
     }
 
     #[test]
     fn rejects_stray_character() {
-        assert!(Topology::parse("A + B").is_err());
+        let e = Topology::parse("A + B").unwrap_err();
+        assert_eq!(e.span(), Some(Span::new(2, 3)));
     }
 }

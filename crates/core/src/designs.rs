@@ -169,6 +169,54 @@ pub fn all() -> Vec<Design> {
     vec![tournament(), b2(), tage_l()]
 }
 
+/// Every built-in design, paper designs first — what `cobra-lint --all`
+/// iterates.
+pub fn catalog() -> Vec<Design> {
+    vec![
+        tournament(),
+        b2(),
+        tage_l(),
+        tage_sc_l(),
+        tage_l_it(),
+        perceptron(),
+        tage_l_with_latency(2),
+    ]
+}
+
+/// Looks a built-in design up by its name (as reported by
+/// [`Design::name`](crate::composer::Design)), case-insensitively.
+pub fn by_name(name: &str) -> Option<Design> {
+    catalog()
+        .into_iter()
+        .find(|d| d.name.eq_ignore_ascii_case(name))
+}
+
+/// A registry holding every component the built-in designs use, under its
+/// stock label — the resolution context for linting raw topology strings.
+pub fn stock_registry() -> ComponentRegistry {
+    let mut registry = ComponentRegistry::new();
+    for d in catalog() {
+        let names: Vec<String> = d.registry.names().map(String::from).collect();
+        for n in names {
+            let already = registry.names().any(|r| r == n);
+            if !already {
+                // Re-elaborate through the owning design so each label keeps
+                // its stock parameterization.
+                let label = n.clone();
+                let dname = d.name.clone();
+                registry.register(n, move |w| {
+                    by_name(&dname)
+                        .expect("catalog design exists")
+                        .registry
+                        .build(&label, w)
+                        .expect("label came from this registry")
+                });
+            }
+        }
+    }
+    registry
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

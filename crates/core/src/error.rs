@@ -3,6 +3,58 @@
 use std::error::Error;
 use std::fmt;
 
+/// A half-open byte range `[start, end)` into the topology source text.
+///
+/// Spans let diagnostics point at the exact token that caused a problem —
+/// every parse error and every component-attributed analysis diagnostic
+/// carries one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Span {
+    /// Byte offset of the first offending character.
+    pub start: usize,
+    /// Byte offset one past the last offending character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span covering `[start, end)`.
+    pub fn new(start: usize, end: usize) -> Self {
+        Self { start, end }
+    }
+
+    /// A zero-width span at `pos` (used for "unexpected end of input").
+    pub fn point(pos: usize) -> Self {
+        Self {
+            start: pos,
+            end: pos,
+        }
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> usize {
+        self.end.saturating_sub(self.start)
+    }
+
+    /// `true` when the span covers no characters.
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// A caret line (`^^^` under the offending range) for terminal
+    /// rendering beneath the topology text.
+    pub fn caret_line(&self) -> String {
+        let mut s = " ".repeat(self.start);
+        s.push_str(&"^".repeat(self.len().max(1)));
+        s
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
 /// An error raised while parsing a topology expression or composing a
 /// predictor pipeline from one.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,6 +63,8 @@ pub enum ComposeError {
     Parse {
         /// Human-readable description of the syntax problem.
         reason: String,
+        /// Byte range of the offending token in the topology text.
+        span: Span,
     },
     /// A component name in the topology has no registered factory.
     UnknownComponent {
@@ -41,12 +95,40 @@ pub enum ComposeError {
         /// Declared metadata width.
         bits: u32,
     },
+    /// A component requested a wider local history than the provider
+    /// supports (64 bits).
+    LocalHistoryTooWide {
+        /// The component's label.
+        component: String,
+        /// Declared local-history width.
+        bits: u32,
+    },
+    /// Static analysis rejected the design with one or more error-level
+    /// diagnostics (see [`crate::analysis`]).
+    Analysis {
+        /// The error-level diagnostics, in pass order.
+        diagnostics: Vec<crate::analysis::Diagnostic>,
+    },
+}
+
+impl ComposeError {
+    /// The span of the offending token, when the error points into the
+    /// topology text.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            ComposeError::Parse { span, .. } => Some(*span),
+            ComposeError::Analysis { diagnostics } => diagnostics.iter().find_map(|d| d.span),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ComposeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ComposeError::Parse { reason } => write!(f, "topology parse error: {reason}"),
+            ComposeError::Parse { reason, span } => {
+                write!(f, "topology parse error at {span}: {reason}")
+            }
             ComposeError::UnknownComponent { name } => {
                 write!(f, "unknown component name `{name}`")
             }
@@ -63,6 +145,23 @@ impl fmt::Display for ComposeError {
             }
             ComposeError::MetadataTooWide { component, bits } => {
                 write!(f, "component `{component}` declares {bits} metadata bits (max 64)")
+            }
+            ComposeError::LocalHistoryTooWide { component, bits } => {
+                write!(
+                    f,
+                    "component `{component}` declares {bits} local-history bits (max 64)"
+                )
+            }
+            ComposeError::Analysis { diagnostics } => {
+                let first = diagnostics
+                    .first()
+                    .map(|d| d.to_string())
+                    .unwrap_or_else(|| "design rejected".into());
+                if diagnostics.len() > 1 {
+                    write!(f, "{first} (+{} more)", diagnostics.len() - 1)
+                } else {
+                    write!(f, "{first}")
+                }
             }
         }
     }
@@ -86,6 +185,22 @@ mod tests {
             found: 1,
         };
         assert!(e.to_string().contains("requires 2"));
+    }
+
+    #[test]
+    fn parse_errors_render_span() {
+        let e = ComposeError::Parse {
+            reason: "unexpected `]`".into(),
+            span: Span::new(4, 5),
+        };
+        assert!(e.to_string().contains("4..5"));
+        assert_eq!(e.span(), Some(Span::new(4, 5)));
+    }
+
+    #[test]
+    fn span_caret_line_underlines_range() {
+        assert_eq!(Span::new(2, 5).caret_line(), "  ^^^");
+        assert_eq!(Span::point(3).caret_line(), "   ^");
     }
 
     #[test]

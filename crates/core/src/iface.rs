@@ -134,6 +134,86 @@ impl UpdateEvent<'_> {
     }
 }
 
+/// A set of prediction-bundle fields, used by the static analyzer to reason
+/// about which slot fields (`kind` / `taken` / `target`) a component can
+/// populate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct FieldSet(u8);
+
+impl FieldSet {
+    /// The empty set.
+    pub const NONE: FieldSet = FieldSet(0);
+    /// The branch-kind field.
+    pub const KIND: FieldSet = FieldSet(1);
+    /// The taken/not-taken direction field.
+    pub const TAKEN: FieldSet = FieldSet(2);
+    /// The redirect-target field.
+    pub const TARGET: FieldSet = FieldSet(4);
+    /// All three fields.
+    pub const ALL: FieldSet = FieldSet(7);
+
+    /// Set union.
+    pub const fn union(self, other: FieldSet) -> FieldSet {
+        FieldSet(self.0 | other.0)
+    }
+
+    /// Set intersection.
+    pub const fn intersect(self, other: FieldSet) -> FieldSet {
+        FieldSet(self.0 & other.0)
+    }
+
+    /// `true` when the set contains every field in `other`.
+    pub const fn contains(self, other: FieldSet) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// `true` when no field is in the set.
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Field names in the set, for rendering diagnostics.
+    pub fn names(self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        if self.contains(FieldSet::KIND) {
+            out.push("kind");
+        }
+        if self.contains(FieldSet::TAKEN) {
+            out.push("taken");
+        }
+        if self.contains(FieldSet::TARGET) {
+            out.push("target");
+        }
+        out
+    }
+}
+
+/// A component's static field profile: which prediction fields it *may*
+/// populate, and which it populates on *every* query (unconditionally).
+///
+/// The analyzer's reachability pass uses this to tell a conditional
+/// overrider (a loop predictor that speaks only on confident loops —
+/// `always` empty) from an unconditional one (a bimodal table that always
+/// produces a direction — `always = {taken}`): only the latter can fully
+/// shadow a component below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FieldProfile {
+    /// Fields the component can populate on at least some queries.
+    pub may: FieldSet,
+    /// Fields the component populates on every query.
+    pub always: FieldSet,
+}
+
+impl FieldProfile {
+    /// The conservative default: may populate anything, guarantees nothing.
+    /// Produces no false shadowing reports for components that don't
+    /// declare a profile.
+    pub const CONSERVATIVE: FieldProfile = FieldProfile {
+        may: FieldSet::ALL,
+        always: FieldSet::NONE,
+    };
+}
+
 /// A COBRA predictor sub-component.
 ///
 /// Implementations are clocked predictor structures (counter tables, BTBs,
@@ -177,6 +257,23 @@ pub trait Component {
     /// sizes the generated local history provider as the maximum over all
     /// components. Zero means "does not use local history".
     fn local_history_bits(&self) -> u32 {
+        0
+    }
+
+    /// Static declaration of which prediction fields this component can
+    /// populate, for the analyzer's reachability/shadowing pass. The
+    /// default is deliberately conservative (may touch everything,
+    /// guarantees nothing) so components that don't declare a profile are
+    /// never reported as shadowing anything.
+    fn field_profile(&self) -> FieldProfile {
+        FieldProfile::CONSERVATIVE
+    }
+
+    /// Global-history bits this component actually reads (its longest
+    /// history length). The analyzer warns when a design's global history
+    /// register is narrower than this. Zero means "does not read global
+    /// history".
+    fn required_ghist_bits(&self) -> u32 {
         0
     }
 

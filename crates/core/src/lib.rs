@@ -45,17 +45,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod components;
 pub mod composer;
 pub mod designs;
 mod error;
 mod iface;
+pub mod sanitize;
 mod types;
 pub mod validate;
 
-pub use error::ComposeError;
+pub use error::{ComposeError, Span};
 pub use iface::{
-    Component, FireEvent, HistoryView, PredictQuery, Response, SlotResolution, UpdateEvent,
+    Component, FieldProfile, FieldSet, FireEvent, HistoryView, PredictQuery, Response,
+    SlotResolution, UpdateEvent,
 };
 pub use types::{
     AccessReport, BranchKind, Meta, PredictionBundle, SlotPrediction, StorageReport,

@@ -1,0 +1,172 @@
+//! Lints every built-in design and pins the analyzer's contract:
+//! paper designs are error-clean, the warning set is snapshot-empty, and
+//! broken topologies produce specific diagnostics (code + span) both from
+//! the analyzer and from `BranchPredictorUnit::build`.
+
+use cobra::core::analysis::{self, AnalysisConfig, DiagCode, Severity};
+use cobra::core::composer::{BpuConfig, BranchPredictorUnit};
+use cobra::core::{designs, ComposeError, Span};
+
+#[test]
+fn builtin_designs_are_error_clean() {
+    for design in designs::catalog() {
+        let report = analysis::analyze_design(&design, &AnalysisConfig::default())
+            .expect("built-in topologies parse");
+        let errors: Vec<String> = report.errors().map(ToString::to_string).collect();
+        assert!(errors.is_empty(), "{}: {errors:?}", design.name);
+    }
+}
+
+#[test]
+fn builtin_design_warning_snapshot_is_empty() {
+    // Snapshot of the warning set per design. Stock designs are
+    // deliberately warning-free so CI can run `cobra-lint --deny warnings`;
+    // a new warning here is a behaviour change that must be explicit.
+    for design in designs::catalog() {
+        let report = analysis::analyze_design(&design, &AnalysisConfig::default()).unwrap();
+        let warnings: Vec<String> = report.warnings().map(ToString::to_string).collect();
+        assert_eq!(
+            warnings,
+            Vec::<String>::new(),
+            "{}: unexpected warnings",
+            design.name
+        );
+    }
+}
+
+#[test]
+fn every_report_runs_all_five_passes() {
+    // The storage pass always emits its C0402 note, and the report carries
+    // per-component facts each pass consumed — use both as evidence the
+    // full pass stack ran for every design.
+    for design in designs::catalog() {
+        let report = analysis::analyze_design(&design, &AnalysisConfig::default()).unwrap();
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code == DiagCode::StorageSummary),
+            "{}: storage pass did not run",
+            design.name
+        );
+        assert!(!report.components.is_empty());
+        assert!(report.meta_bits > 0);
+    }
+}
+
+#[test]
+fn latency_inversion_has_code_and_span() {
+    let registry = designs::stock_registry();
+    let report = analysis::analyze_topology(
+        "broken",
+        "UBTB1 > BIM2",
+        &registry,
+        64,
+        0,
+        &AnalysisConfig::default(),
+    )
+    .unwrap();
+    let d = report
+        .errors()
+        .find(|d| d.code == DiagCode::LatencyInversion)
+        .expect("UBTB1 (lat 1) over BIM2 (lat 2) is an inversion");
+    assert_eq!(d.severity, Severity::Error);
+    // The span underlines the overriding component's occurrence.
+    assert_eq!(d.span, Some(Span::new(0, 5)));
+    assert_eq!(d.component.as_deref(), Some("UBTB1"));
+    assert!(d.hint.is_some(), "inversions carry a fix hint");
+}
+
+#[test]
+fn unknown_component_has_code_and_span() {
+    let registry = designs::stock_registry();
+    let report = analysis::analyze_topology(
+        "broken",
+        "GTAG3 > NOPE9 > BIM2",
+        &registry,
+        16,
+        0,
+        &AnalysisConfig::default(),
+    )
+    .unwrap();
+    let d = report
+        .errors()
+        .find(|d| d.code == DiagCode::UnknownComponent)
+        .expect("NOPE9 is unregistered");
+    assert_eq!(d.span, Some(Span::new(8, 13)));
+}
+
+#[test]
+fn building_broken_design_returns_diagnostics_not_panic() {
+    let mut design = designs::tage_l();
+    design.topology = "UBTB1 > BIM2".into();
+    let err = match BranchPredictorUnit::build(&design, BpuConfig::default()) {
+        Err(e) => e,
+        Ok(_) => panic!("inverted topology must not build"),
+    };
+    match err {
+        ComposeError::Analysis { diagnostics } => {
+            assert!(!diagnostics.is_empty());
+            assert!(diagnostics.iter().all(|d| d.is_error()));
+            let d = diagnostics
+                .iter()
+                .find(|d| d.code == DiagCode::LatencyInversion)
+                .expect("the inversion is reported");
+            assert_eq!(d.span, Some(Span::new(0, 5)));
+        }
+        other => panic!("expected ComposeError::Analysis, got {other:?}"),
+    }
+}
+
+#[test]
+fn compose_error_display_carries_first_diagnostic() {
+    let mut design = designs::tage_l();
+    design.topology = "UBTB1 > BIM2".into();
+    let err = BranchPredictorUnit::build(&design, BpuConfig::default()).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("C0201"), "display names the code: {msg}");
+}
+
+#[test]
+fn shadowed_component_is_a_warning_not_an_error() {
+    // BIM2 > GBIM2: same latency, BIM2 always provides everything GBIM2
+    // may produce — GBIM2 is dead weight, but the design still simulates.
+    let registry = designs::stock_registry();
+    let report = analysis::analyze_topology(
+        "shadow",
+        "BIM2 > GBIM2",
+        &registry,
+        32,
+        0,
+        &AnalysisConfig::default(),
+    )
+    .unwrap();
+    let d = report
+        .warnings()
+        .find(|d| d.code == DiagCode::ShadowedComponent)
+        .expect("GBIM2 is fully shadowed");
+    assert_eq!(d.component.as_deref(), Some("GBIM2"));
+    // And Bpu::build accepts it: warnings do not gate construction.
+    let mut design = designs::tournament();
+    design.topology = "BIM2 > GBIM2".into();
+    design.registry.register("BIM2", |w| {
+        Box::new(cobra::core::components::Hbim::new(
+            cobra::core::components::HbimConfig::bim(1024, w),
+        ))
+    });
+    assert!(BranchPredictorUnit::build(&design, BpuConfig::default()).is_ok());
+}
+
+#[test]
+fn json_reports_round_trip_key_fields() {
+    let report = analysis::analyze_design(&designs::tage_l(), &AnalysisConfig::default()).unwrap();
+    let j = report.render_json();
+    for key in [
+        "\"design\":\"TAGE-L\"",
+        "\"depth\":3",
+        "\"errors\":0",
+        "\"code\":\"C0402\"",
+    ] {
+        assert!(j.contains(key), "missing {key} in {j}");
+    }
+}

@@ -1,0 +1,74 @@
+//! Interface-conformance sweep over every stock registry component.
+//!
+//! `validate::check_component` is the per-component assertion bench; this
+//! test guarantees no component ships in a built-in design without passing
+//! it — including the extension components (ITTAGE, statistical
+//! corrector, perceptron) that only appear in non-paper designs.
+
+use cobra::core::designs;
+use cobra::core::validate::{check_component, CheckConfig};
+
+/// Every label the stock registry resolves. Kept explicit so a new
+/// component cannot be registered without extending the conformance sweep.
+const EXPECTED_LABELS: &[&str] = &[
+    "BIM2", "BTB2", "GBIM2", "GTAG3", "ITTAGE3", "LBIM2", "LOOP3", "PERC3", "SC3", "TAGE3",
+    "TOURNEY3", "UBTB1",
+];
+
+#[test]
+fn stock_registry_covers_expected_labels() {
+    let registry = designs::stock_registry();
+    let mut names: Vec<String> = registry.names().map(String::from).collect();
+    names.sort();
+    assert_eq!(names, EXPECTED_LABELS, "stock registry labels changed");
+}
+
+#[test]
+fn every_registry_component_conforms() {
+    let registry = designs::stock_registry();
+    for label in EXPECTED_LABELS {
+        for width in [4u8, 8] {
+            let mut c = registry
+                .build(label, width)
+                .expect("label is in the stock registry");
+            let violations = check_component(
+                &mut *c,
+                CheckConfig {
+                    width,
+                    ..CheckConfig::default()
+                },
+            );
+            assert!(
+                violations.is_empty(),
+                "{label} (width {width}) violates the interface contract: {violations:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_design_registry_component_conforms() {
+    // Also sweep each design's own registry: parameterizations can differ
+    // from the stock labels (e.g. TAGE-L's smaller BIM2).
+    for design in designs::catalog() {
+        let names: Vec<String> = design.registry.names().map(String::from).collect();
+        for label in names {
+            let mut c = design
+                .registry
+                .build(&label, 8)
+                .expect("label from this registry");
+            let violations = check_component(
+                &mut *c,
+                CheckConfig {
+                    width: 8,
+                    ..CheckConfig::default()
+                },
+            );
+            assert!(
+                violations.is_empty(),
+                "{}::{label} violates the interface contract: {violations:?}",
+                design.name
+            );
+        }
+    }
+}
