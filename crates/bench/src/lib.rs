@@ -23,13 +23,19 @@
 //! | `ablation_history_depth` | extension — accuracy vs correlation depth |
 //! | `energy_report` | §VI-A future work — predictor SRAM energy |
 //! | `ablation_alternatives` | extension — statistical-corrector and perceptron designs |
+//! | `cobra-trace` | observability — per-component blame tables and event traces |
 //!
 //! Run lengths scale with the `COBRA_INSTS` environment variable
 //! (instructions per measured run, default 500 000; warm-up is 40 % of it).
+//! Setting `COBRA_TRACE=<path>` streams structured prediction events from
+//! every simulated BPU (see `cobra_core::obs::trace`), and
+//! `COBRA_METRICS=<path>` makes [`runner::run_grid`] append one JSONL
+//! record per job.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod jsonv;
 pub mod reference;
 pub mod runner;
 pub mod timing;
@@ -72,9 +78,29 @@ pub fn run_insts() -> u64 {
 /// Panics if the design fails to compose — harness binaries treat that as
 /// a fatal configuration error.
 pub fn run_one(design: &Design, cfg: CoreConfig, spec: &ProgramSpec) -> PerfReport {
+    run_one_tagged(design, cfg, spec, None)
+}
+
+/// [`run_one`] with a job tag substituted into any `COBRA_TRACE`-attached
+/// tracer's output path, so concurrent grid jobs write to distinct,
+/// deterministic files (the tag encodes the grid index, not the thread).
+///
+/// # Panics
+///
+/// Panics if the design fails to compose — harness binaries treat that as
+/// a fatal configuration error.
+pub fn run_one_tagged(
+    design: &Design,
+    cfg: CoreConfig,
+    spec: &ProgramSpec,
+    tag: Option<&str>,
+) -> PerfReport {
     let measure = run_insts();
     let warmup = measure * 2 / 5;
     let mut core = Core::new(design, cfg, spec.build()).expect("stock designs always compose");
+    if let Some(tag) = tag {
+        core.bpu_mut().retarget_env_tracer(tag);
+    }
     core.run_with_warmup(warmup, measure, &spec.name)
 }
 

@@ -21,12 +21,17 @@
 //!
 //! Per-job progress and the end-of-grid throughput summary go to stderr,
 //! keeping stdout (the tables the binaries exist to print) stable for
-//! diffing against `results/`.
+//! diffing against `results/`. Each stderr progress line carries the
+//! job's stable grid id (`job07`), which is also the tag substituted into
+//! any `COBRA_TRACE` template so concurrent jobs trace to distinct files.
+//! Setting `COBRA_METRICS=<path>` additionally appends one JSONL record
+//! per job (same id, in job order) once the grid completes.
 
-use crate::run_one;
+use crate::{jsonv, run_one_tagged};
 use cobra_core::composer::Design;
 use cobra_uarch::{CoreConfig, PerfReport};
 use cobra_workloads::ProgramSpec;
+use std::io::Write;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -163,22 +168,40 @@ pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
     let total = jobs.len();
     let started = Instant::now();
     let done = AtomicUsize::new(0);
-    let results = parallel_map_on(threads, jobs, |_, job| {
+    let results = parallel_map_on(threads, jobs, |i, job| {
+        let tag = job_id(i);
         let t = Instant::now();
-        let report = run_one(job.design, job.cfg, job.spec);
+        let report = run_one_tagged(
+            job.design,
+            job.cfg,
+            job.spec,
+            Some(&format!("{tag}-{}-{}", job.design.name, job.spec.name)),
+        );
         let r = JobResult {
             report,
             wall: t.elapsed(),
         };
         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
         eprintln!(
-            "[runner] {n}/{total} {:<28} {:>7.2}s {:>7.2} MIPS",
+            "[runner] {n}/{total} {tag} {:<28} {:>7.2}s {:>7.2} MIPS",
             job.label(),
             r.wall.as_secs_f64(),
             r.mips()
         );
         r
     });
+    if let Ok(path) = std::env::var("COBRA_METRICS") {
+        if !path.trim().is_empty() {
+            let lines: Vec<String> = results
+                .iter()
+                .enumerate()
+                .map(|(i, r)| metrics_record(&job_id(i), r))
+                .collect();
+            if let Err(e) = write_metrics(path.trim(), &lines) {
+                eprintln!("[runner] warning: could not write COBRA_METRICS={path:?}: {e}");
+            }
+        }
+    }
     let wall = started.elapsed().as_secs_f64();
     let insts: u64 = results
         .iter()
@@ -204,6 +227,58 @@ pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
 /// binaries call.
 pub fn run_grid(jobs: &[Job<'_>]) -> Vec<JobResult> {
     run_grid_on(threads(), jobs)
+}
+
+/// The stable id of grid position `i` (`job00`, `job01`, …) — the tag on
+/// the stderr progress line, the `COBRA_TRACE` file-name context, and the
+/// `job` field of each metrics record.
+pub fn job_id(i: usize) -> String {
+    format!("job{i:02}")
+}
+
+/// One JSONL metrics record for a finished job — also what `cobra-trace
+/// --metrics` emits, so both surfaces share one schema.
+pub fn metrics_record(job_id: &str, r: &JobResult) -> String {
+    let c = &r.report.counters;
+    format!(
+        "{{\"job\":{},\"design\":{},\"workload\":{},\"wall_s\":{:.6},\"mips\":{:.3},\
+         \"ipc\":{:.4},\"mpki\":{:.4},\"acc\":{:.4},\"insts\":{},\"cycles\":{},\
+         \"branch_misses\":{}}}",
+        jsonv::escape(job_id),
+        jsonv::escape(&r.report.design),
+        jsonv::escape(&r.report.workload),
+        r.wall.as_secs_f64(),
+        r.mips(),
+        c.ipc(),
+        c.mpki(),
+        c.branch_accuracy(),
+        c.committed_insts,
+        c.cycles,
+        c.branch_misses()
+    )
+}
+
+/// Appends `lines` (one JSONL record each) to `path`, creating parent
+/// directories and the file as needed.
+///
+/// # Errors
+///
+/// Returns the underlying I/O error if the file cannot be created or
+/// written.
+pub fn write_metrics(path: &str, lines: &[String]) -> std::io::Result<()> {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    for line in lines {
+        writeln!(f, "{line}")?;
+    }
+    f.flush()
 }
 
 #[cfg(test)]
@@ -240,6 +315,30 @@ mod tests {
         let serial = parallel_map_on(1, &items, |i, &x| x.wrapping_mul(i as u64 + 7));
         let parallel = parallel_map_on(8, &items, |i, &x| x.wrapping_mul(i as u64 + 7));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn metrics_record_is_valid_json() {
+        let r = JobResult {
+            report: PerfReport {
+                workload: "gcc \"ref\"".into(),
+                design: "TAGE-L".into(),
+                counters: Default::default(),
+                attribution: Default::default(),
+            },
+            wall: Duration::from_millis(1234),
+        };
+        let line = metrics_record(&job_id(3), &r);
+        let v = jsonv::parse(&line).expect("record parses");
+        assert_eq!(v.get("job").and_then(jsonv::Json::as_str), Some("job03"));
+        assert_eq!(
+            v.get("workload").and_then(jsonv::Json::as_str),
+            Some("gcc \"ref\"")
+        );
+        assert_eq!(
+            v.get("branch_misses").and_then(jsonv::Json::as_u64),
+            Some(0)
+        );
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! benchmark is warmed up, the iteration count is calibrated to a target
 //! sample duration, and the median of several samples is reported (median
 //! is robust to scheduler noise, which is all we need to compare the
-//! hot-path before/after).
+//! hot-path before/after), alongside the minimum and the median absolute
+//! deviation so a delta within run-to-run noise reads as such.
 
 use std::time::{Duration, Instant};
 
@@ -58,16 +59,27 @@ impl Harness {
         samples.sort_by(|a, b| a.total_cmp(b));
         let median = samples[SAMPLES / 2];
         let (lo, hi) = (samples[0], samples[SAMPLES - 1]);
+        let spread = mad(&samples, median);
         println!(
-            "{:<40} {:>12.0} ns/iter   (min {:.0}, max {:.0}, {} x {} iters)",
+            "{:<40} {:>12.0} ns/iter  ±{:<8.0} (min {:.0}, max {:.0}, {} x {} iters)",
             format!("{}/{}", self.group, name),
             median,
+            spread,
             lo,
             hi,
             SAMPLES,
             iters
         );
     }
+}
+
+/// Median absolute deviation around `median` — the spread figure printed
+/// next to each benchmark so a before/after delta smaller than the spread
+/// is visibly within noise.
+fn mad(samples: &[f64], median: f64) -> f64 {
+    let mut devs: Vec<f64> = samples.iter().map(|s| (s - median).abs()).collect();
+    devs.sort_by(|a, b| a.total_cmp(b));
+    devs[devs.len() / 2]
 }
 
 #[cfg(test)]
@@ -82,5 +94,11 @@ mod tests {
             acc = acc.wrapping_add(std::hint::black_box(1));
         });
         assert!(acc > 0);
+    }
+
+    #[test]
+    fn mad_ignores_outliers() {
+        let s = [1.0, 2.0, 3.0, 4.0, 100.0];
+        assert_eq!(mad(&s, 3.0), 1.0);
     }
 }

@@ -1,0 +1,120 @@
+//! Reconciliation of the per-component attribution counters against the
+//! host core's own performance counters.
+//!
+//! Attribution (`cobra_core::obs`) is a second, independent accounting of
+//! the same events the core counts: every misprediction must be blamed on
+//! exactly one component row (or the static pseudo-row), and every packet
+//! that carried a prediction must have exactly one decision provider. The
+//! invariants here are exact equalities — if attribution drifts from
+//! `PerfCounters` by even one event, the blame tables `cobra-trace`
+//! prints stop meaning anything.
+
+use cobra_core::designs;
+use cobra_core::obs::STATIC_LABEL;
+use cobra_uarch::{Core, CoreConfig};
+use cobra_workloads::{kernels, spec17, ProgramSpec, SyntheticProgram};
+
+/// Whole-run simulation (no warm-up, so attribution and the counters
+/// cover exactly the same interval) with per-PC blame enabled.
+fn run(design_name: &str, spec: &ProgramSpec, insts: u64) -> Core<SyntheticProgram> {
+    let design = designs::by_name(design_name).expect("stock design");
+    let mut core =
+        Core::new(&design, CoreConfig::boom_4wide(), spec.build()).expect("stock designs compose");
+    core.bpu_mut().enable_pc_attribution();
+    core.run(insts, &spec.name);
+    core
+}
+
+#[test]
+fn blame_reconciles_with_perf_counters() {
+    let specs = [spec17::spec17("gcc"), kernels::aliasing_stress()];
+    for design_name in ["Tournament", "B2", "TAGE-L"] {
+        for spec in &specs {
+            let core = run(design_name, spec, 8000);
+            let counters = core.counters();
+            let report = core.bpu().attribution_report();
+            let label = format!("{design_name}/{}", spec.name);
+
+            // Every branch miss the core counted was blamed on exactly
+            // one attribution row, and nothing else was.
+            assert_eq!(
+                report.total_blame(),
+                counters.branch_misses(),
+                "{label}: blame must sum to the core's branch misses"
+            );
+            let dir: u64 = report
+                .components
+                .iter()
+                .map(|c| c.counters.direction_blame)
+                .sum();
+            let tgt: u64 = report
+                .components
+                .iter()
+                .map(|c| c.counters.target_blame)
+                .sum();
+            assert_eq!(
+                dir, counters.cond_mispredicts,
+                "{label}: direction blame must match cond_mispredicts"
+            );
+            assert_eq!(
+                tgt, counters.target_mispredicts,
+                "{label}: target blame must match target_mispredicts"
+            );
+
+            // Exactly one decision provider per predicted packet.
+            assert_eq!(
+                report.total_provided(),
+                report.packets_with_prediction,
+                "{label}: provided_final must sum to packets_with_prediction"
+            );
+            assert!(
+                report.packets_with_prediction <= core.bpu().stats().queries,
+                "{label}: cannot provide more packets than were queried"
+            );
+
+            // Broadcast events reach every component row equally, and the
+            // static pseudo-row receives none of them.
+            let stats = core.bpu().stats();
+            for c in &report.components {
+                if c.label == STATIC_LABEL {
+                    assert_eq!(
+                        c.counters.queries, 0,
+                        "{label}: static row is never queried"
+                    );
+                } else {
+                    assert_eq!(
+                        c.counters.queries, stats.queries,
+                        "{label}: every component sees every query"
+                    );
+                }
+            }
+
+            // The per-PC map is the same blame, grouped by branch PC.
+            let pc_total: u64 = core
+                .bpu()
+                .pc_attribution()
+                .expect("pc attribution enabled")
+                .values()
+                .flat_map(|row| row.iter())
+                .sum();
+            assert_eq!(
+                pc_total,
+                counters.branch_misses(),
+                "{label}: per-PC blame must also sum to the branch misses"
+            );
+
+            // Overridden components actually lost to a different winner.
+            for e in &report.overrides {
+                assert_ne!(e.winner, e.loser, "{label}: no self-overrides");
+                assert!(e.count > 0, "{label}: zero edges are dropped");
+            }
+
+            // The workloads are branchy enough that the run mispredicted
+            // at least once, so the assertions above weren't 0 == 0.
+            assert!(
+                counters.branch_misses() > 0,
+                "{label}: expected a nonzero miss count for a meaningful test"
+            );
+        }
+    }
+}

@@ -43,6 +43,8 @@ use crate::composer::providers::{
 use crate::composer::registry::Design;
 use crate::error::ComposeError;
 use crate::iface::{HistoryView, SlotResolution, UpdateEvent};
+use crate::obs::trace::{TraceEvent, TraceEventKind, TraceSink};
+use crate::obs::{AttributionReport, DecisionField, PcBlame, StatsSink};
 use crate::types::{BranchKind, PredictionBundle, StorageReport, SLOT_BYTES};
 use cobra_sim::{HistoryRegister, TokenSlab};
 
@@ -140,6 +142,8 @@ pub struct BranchPredictorUnit {
     /// Cycles of repair-walk work queued by the last mispredict.
     pub last_repair_cycles: u64,
     design_name: String,
+    obs: StatsSink,
+    tracers: Vec<TraceSink>,
 }
 
 impl BranchPredictorUnit {
@@ -178,6 +182,22 @@ impl BranchPredictorUnit {
             lhist_bits,
             pipeline.meta_bits(),
         );
+        let labels: Vec<String> = pipeline.labels().iter().map(|s| s.to_string()).collect();
+        let obs = StatsSink::new(labels.clone());
+        let mut tracers = Vec::new();
+        if crate::obs::trace::enabled() {
+            // Auto-attach the COBRA_TRACE sink. Bare unit-test BPUs get a
+            // process-unique anonymous context; harness runs retarget it
+            // (lazy open: nothing is written until the first event).
+            let ctx = format!(
+                "{}-{}",
+                crate::obs::trace::sanitize_context(&design.name),
+                TraceSink::anon_context()
+            );
+            if let Some(sink) = TraceSink::from_env(&ctx, labels) {
+                tracers.push(sink);
+            }
+        }
         Ok(Self {
             scratch_hist: HistoryRegister::new(design.ghist_bits.max(1)),
             pipeline,
@@ -191,6 +211,8 @@ impl BranchPredictorUnit {
             stats: BpuStats::default(),
             last_repair_cycles: 0,
             design_name: design.name.clone(),
+            obs,
+            tracers,
         })
     }
 
@@ -217,6 +239,76 @@ impl BranchPredictorUnit {
     /// Behaviour counters.
     pub fn stats(&self) -> &BpuStats {
         &self.stats
+    }
+
+    /// The per-component attribution sink.
+    pub fn attribution(&self) -> &StatsSink {
+        &self.obs
+    }
+
+    /// Snapshot of the per-component attribution counters as a report.
+    pub fn attribution_report(&self) -> AttributionReport {
+        self.obs.report()
+    }
+
+    /// Starts recording per-PC mispredict blame (see
+    /// [`StatsSink::enable_pc_blame`]).
+    pub fn enable_pc_attribution(&mut self) {
+        self.obs.enable_pc_blame();
+    }
+
+    /// The per-PC blame map, if enabled.
+    pub fn pc_attribution(&self) -> Option<&PcBlame> {
+        self.obs.pc_blame()
+    }
+
+    /// Attaches an explicit trace sink (in addition to, or instead of,
+    /// the `COBRA_TRACE` auto-attached one).
+    pub fn attach_tracer(&mut self, sink: TraceSink) {
+        self.tracers.push(sink);
+    }
+
+    /// Re-resolves any `COBRA_TRACE` auto-attached sink's file name for
+    /// `context` (e.g. a runner job id). Only effective before the first
+    /// traced event — sinks open their file lazily.
+    pub fn retarget_env_tracer(&mut self, context: &str) {
+        for t in &mut self.tracers {
+            if t.from_env {
+                t.retarget(context);
+            }
+        }
+    }
+
+    /// Flushes attached trace sinks to disk.
+    pub fn flush_tracers(&mut self) {
+        for t in &mut self.tracers {
+            t.flush();
+        }
+    }
+
+    #[inline]
+    fn trace(
+        &mut self,
+        kind: TraceEventKind,
+        pc: u64,
+        comp: Option<usize>,
+        slot: Option<usize>,
+        meta: Option<u64>,
+    ) {
+        if self.tracers.is_empty() {
+            return;
+        }
+        let e = TraceEvent {
+            kind,
+            cycle: self.cycle,
+            pc: Some(pc),
+            comp,
+            slot,
+            meta,
+        };
+        for t in &mut self.tracers {
+            t.record(&e);
+        }
     }
 
     /// Current cycle (advanced by [`tick`](Self::tick)).
@@ -259,9 +351,18 @@ impl BranchPredictorUnit {
             lhist: lhist_query,
             phist: phist_query,
         };
-        let crate::composer::pipeline::PacketPrediction { stages, metas } = self
+        let crate::composer::pipeline::PacketPrediction {
+            stages,
+            metas,
+            attr,
+        } = self
             .pipeline
             .predict_packet_width(self.cycle, pc, width, &hist);
+        let final_bundle = *stages.last().expect("depth >= 1");
+        self.obs.note_query(&attr, &final_bundle);
+        let decision = attr.decision(&final_bundle);
+        let provider = decision.and_then(|(s, f)| attr.provider(s, f));
+        let provider_meta = provider.map(|p| metas[p].0);
         let entry = HistoryFileEntry {
             pc,
             phase: EntryPhase::Fetching,
@@ -275,13 +376,22 @@ impl BranchPredictorUnit {
             resolutions: Vec::new(),
             mispredicted_slot: None,
             truncated_at: None,
+            attr,
         };
         let token = match self.hf.allocate(entry) {
             Ok(t) => t,
             Err(_) => unreachable!("fullness checked above"),
         };
+        self.obs.note_hf_occupancy(self.hf.len());
         self.stage_bundles.insert(token, stages);
         self.stats.queries += 1;
+        self.trace(
+            TraceEventKind::Predict,
+            pc,
+            provider,
+            decision.map(|(s, _)| s),
+            provider_meta,
+        );
         Some(token)
     }
 
@@ -339,6 +449,7 @@ impl BranchPredictorUnit {
             &e.ghist,
             (0..new_bits.1).map(|i| (new_bits.0 >> i) & 1 == 1),
         );
+        self.obs.note_ghist_rewind();
         for t in self.hf.younger_range(id) {
             if let Some(y) = self.hf.get(t) {
                 self.ghist.speculate(y.spec_bit_iter());
@@ -379,10 +490,12 @@ impl BranchPredictorUnit {
             self.stage_bundles.remove(id);
         }
         self.ghist.rewind_to(&snapshot, []);
+        self.obs.note_ghist_rewind();
     }
 
     fn repair_one(&mut self, id: PacketId) {
         let Some(e) = self.hf.get(id) else { return };
+        let pc = e.pc;
         self.scratch_hist.restore(&e.ghist);
         let hist = HistoryView {
             ghist: &self.scratch_hist,
@@ -390,10 +503,13 @@ impl BranchPredictorUnit {
             phist: e.phist,
         };
         self.pipeline.repair(e.pc, &hist, &e.metas, &e.pred);
+        self.obs.note_repair();
         if e.phase == EntryPhase::Accepted {
             self.lhist.repair(e.pc, e.lhist_old, []);
+            self.obs.note_lhist_repair();
         }
         self.stats.repair_entries += 1;
+        self.trace(TraceEventKind::Repair, pc, None, None, None);
     }
 
     /// Walks and squashes every entry younger than `keep` (youngest first,
@@ -443,8 +559,10 @@ impl BranchPredictorUnit {
             phist: e.phist,
         };
         self.pipeline.fire(pc, &hist, &e.metas, &bundle);
+        self.obs.note_fire();
         self.stage_bundles.remove(id);
         self.stats.accepts += 1;
+        self.trace(TraceEventKind::Fire, pc, None, None, None);
     }
 
     /// The backend resolved one control-flow instruction of packet `id`.
@@ -484,6 +602,38 @@ impl BranchPredictorUnit {
         e.truncated_at = Some(res.slot);
         e.resolutions.retain(|r| r.slot <= res.slot);
 
+        // Charge the mispredict to the component whose prediction the
+        // packet actually followed: a wrong direction blames the direction
+        // provider, anything else (wrong/unknown target, wrong kind)
+        // blames the target provider. An unattributed field falls to the
+        // static pseudo-component — the packet followed the not-taken
+        // fall-through no component predicted.
+        let slot = res.slot as usize;
+        let (predicted_taken, dir_provider, tgt_provider) = if slot < e.pred.width() as usize {
+            let sp = e.pred.slot(slot);
+            let pt = match sp.kind {
+                Some(BranchKind::Conditional) => sp.taken == Some(true),
+                Some(_) => true,
+                None => false,
+            };
+            (
+                pt,
+                e.attr.provider(slot, DecisionField::Taken),
+                e.attr.provider(slot, DecisionField::Target),
+            )
+        } else {
+            (false, None, None)
+        };
+        let direction_miss = res.kind == BranchKind::Conditional && res.taken != predicted_taken;
+        let blamed = if direction_miss {
+            dir_provider
+        } else {
+            tgt_provider
+        };
+        let blamed_meta = blamed.map(|p| e.metas[p].0);
+        let branch_pc = e.pc + res.slot as u64 * SLOT_BYTES;
+        self.obs.note_blame(blamed, !direction_miss, branch_pc);
+
         // Squash younger entries with repair (youngest first).
         self.squash_younger_with_repair(id);
 
@@ -494,6 +644,7 @@ impl BranchPredictorUnit {
         let (pc, lhist_q, lhist_old, phist_q) = (e.pc, e.lhist_query, e.lhist_old, e.phist);
         let accepted = e.phase == EntryPhase::Accepted;
         self.ghist.rewind_to(&e.ghist, corrected.iter().copied());
+        self.obs.note_ghist_rewind();
         // Rewind the path history to this packet's fetch state and push the
         // resolved redirection.
         self.phist.restore(phist_q);
@@ -505,6 +656,7 @@ impl BranchPredictorUnit {
         }
         if accepted {
             self.lhist.repair(pc, lhist_old, corrected.iter().copied());
+            self.obs.note_lhist_repair();
         }
 
         // Fast mispredict update to the components.
@@ -525,6 +677,14 @@ impl BranchPredictorUnit {
             mispredicted_slot: Some(res.slot),
         };
         self.pipeline.mispredict(&ev, &e.metas);
+        self.obs.note_mispredict_event();
+        self.trace(
+            TraceEventKind::Mispredict,
+            branch_pc,
+            blamed,
+            Some(res.slot as usize),
+            blamed_meta,
+        );
 
         Some(if res.taken {
             res.target
@@ -558,12 +718,20 @@ impl BranchPredictorUnit {
             mispredicted_slot: e.mispredicted_slot,
         };
         self.pipeline.update(&ev, &e.metas);
+        self.obs.note_update();
         self.stats.commits += 1;
         self.stats.cond_branches += e
             .resolutions
             .iter()
             .filter(|r| r.kind == BranchKind::Conditional)
             .count() as u64;
+        self.trace(
+            TraceEventKind::Update,
+            e.pc,
+            None,
+            e.mispredicted_slot.map(|s| s as usize),
+            None,
+        );
         Some(CommittedPacket {
             pc: e.pc,
             pred: e.pred,
@@ -586,6 +754,7 @@ impl BranchPredictorUnit {
             self.hf.discard_all();
             self.stage_bundles.clear();
             self.ghist.rewind_to(&snapshot, []);
+            self.obs.note_ghist_rewind();
             self.phist.restore(phist_q);
         }
     }

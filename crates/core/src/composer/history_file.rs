@@ -7,6 +7,7 @@
 //! the backend, and is dequeued in program order as the core commits.
 
 use crate::iface::SlotResolution;
+use crate::obs::PacketAttribution;
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::{CircularBuffer, HistorySnapshot, PortKind, SramSpec};
 
@@ -49,6 +50,10 @@ pub struct HistoryFileEntry {
     /// Set once this entry's packet has been truncated at a mispredicted
     /// slot: resolutions past it are stale wrong-path reports.
     pub truncated_at: Option<u8>,
+    /// Value-flow provenance of the packet's final prediction, used to
+    /// charge mispredict blame to the providing component. Observability
+    /// state only — it declares no storage.
+    pub attr: PacketAttribution,
 }
 
 impl HistoryFileEntry {
@@ -259,6 +264,7 @@ mod tests {
             resolutions: vec![],
             mispredicted_slot: None,
             truncated_at: None,
+            attr: PacketAttribution::EMPTY,
         }
     }
 

@@ -20,7 +20,8 @@ use crate::composer::registry::{ComponentRegistry, Design};
 use crate::composer::topology::Topology;
 use crate::error::ComposeError;
 use crate::iface::{Component, FireEvent, HistoryView, PredictQuery, Response, UpdateEvent};
-use crate::types::{Meta, PredictionBundle, StorageReport};
+use crate::obs::{PacketAttribution, MAX_TRACKED_COMPONENTS, NO_PROVIDER};
+use crate::types::{Meta, PredictionBundle, SlotPrediction, StorageReport};
 
 /// Maximum supported pipeline depth (response latency of the slowest
 /// component).
@@ -49,6 +50,8 @@ pub struct PacketPrediction {
     pub stages: Vec<PredictionBundle>,
     /// Finalized per-node metadata, in node order.
     pub metas: Vec<Meta>,
+    /// Value-flow provenance of the final stage's prediction.
+    pub attr: PacketAttribution,
 }
 
 /// One row of [`PredictorPipeline::describe`]: which components respond at
@@ -323,7 +326,12 @@ impl PredictorPipeline {
                 check_refinement(pc, d, &stages[d as usize - 2], &stages[d as usize - 1]);
             }
         }
-        PacketPrediction { stages, metas }
+        let attr = attribute_final(&self.nodes, self.final_node, &responses, &outs, width);
+        PacketPrediction {
+            stages,
+            metas,
+            attr,
+        }
     }
 
     /// Broadcasts a `fire` event; each component receives its own metadata.
@@ -414,6 +422,102 @@ fn check_refinement(pc: u64, stage: u8, prev: &PredictionBundle, cur: &Predictio
             ));
         }
     }
+}
+
+/// Encodes one predicted field of a slot as a comparable value (`None`:
+/// the field is unpredicted). Field indices: 0 = kind, 1 = taken,
+/// 2 = target.
+fn field_val(sp: &SlotPrediction, f: usize) -> Option<u64> {
+    match f {
+        0 => sp.kind.map(|k| k as u64),
+        1 => sp.taken.map(u64::from),
+        _ => sp.target,
+    }
+}
+
+/// Provider of value `v` for field `f` of slot `s` as seen at node
+/// `start`: follows the first input (base of the topology first) whose
+/// composed output carries the same value, bottoming out at the node
+/// that introduced it. Inputs come before their consumers in dataflow
+/// order, so the walk strictly descends and terminates.
+fn walk_provider(
+    nodes: &[Node],
+    outs: &[PredictionBundle],
+    start: usize,
+    f: usize,
+    s: usize,
+    v: u64,
+) -> u8 {
+    let mut i = start;
+    'descend: loop {
+        for &j in &nodes[i].inputs {
+            if field_val(outs[j].slot(s), f) == Some(v) {
+                i = j;
+                continue 'descend;
+            }
+        }
+        return i as u8;
+    }
+}
+
+/// The operational-provenance fold: for every predicted field of every
+/// slot of the final bundle, finds the node whose own response
+/// established the winning value ([`walk_provider`]). Ties credit the
+/// node closest to the base of the topology (an arbiter that forwards a
+/// sub-predictor's value attributes the sub-predictor, not itself); a
+/// value no input carries is credited to the composing node.
+///
+/// `outs` are the final-stage per-node composed bundles, `responses` the
+/// raw per-node responses. Only fields the final bundle actually carries
+/// are walked, so the per-packet cost tracks the (small) number of live
+/// predictions, not `nodes × width × 3`.
+fn attribute_final(
+    nodes: &[Node],
+    final_node: usize,
+    responses: &[Response],
+    outs: &[PredictionBundle],
+    width: u8,
+) -> PacketAttribution {
+    let n = nodes.len();
+    if n >= NO_PROVIDER as usize {
+        return PacketAttribution::EMPTY;
+    }
+    let width = width as usize;
+    let mut attr = PacketAttribution::EMPTY;
+    let fin = &outs[final_node];
+    for s in 0..width.min(fin.width() as usize) {
+        let sp = fin.slot(s);
+        if sp.is_empty() {
+            continue;
+        }
+        for f in 0..3 {
+            if let Some(v) = field_val(sp, f) {
+                let p = walk_provider(nodes, outs, final_node, f, s, v);
+                match f {
+                    0 => attr.kind_provider[s] = p,
+                    1 => attr.taken_provider[s] = p,
+                    _ => attr.target_provider[s] = p,
+                }
+            }
+        }
+    }
+    for (i, resp) in responses
+        .iter()
+        .enumerate()
+        .take(n.min(MAX_TRACKED_COMPONENTS))
+    {
+        let w = width.min(resp.pred.width() as usize);
+        for s in 0..w {
+            let sp = resp.pred.slot(s);
+            if sp.taken.is_some() {
+                attr.proposed_taken[i] |= 1 << s;
+            }
+            if sp.target.is_some() {
+                attr.proposed_target[i] |= 1 << s;
+            }
+        }
+    }
+    attr
 }
 
 impl std::fmt::Debug for PredictorPipeline {

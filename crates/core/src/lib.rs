@@ -51,6 +51,7 @@ pub mod composer;
 pub mod designs;
 mod error;
 mod iface;
+pub mod obs;
 pub mod sanitize;
 mod types;
 pub mod validate;

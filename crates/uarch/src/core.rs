@@ -200,6 +200,12 @@ impl<S: InstructionStream> Core<S> {
         &self.bpu
     }
 
+    /// Mutable access to the attached predictor unit (observability
+    /// configuration: PC attribution, trace sink retargeting).
+    pub fn bpu_mut(&mut self) -> &mut BranchPredictorUnit {
+        &mut self.bpu
+    }
+
     /// Current counters.
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
@@ -283,10 +289,12 @@ impl<S: InstructionStream> Core<S> {
             );
         }
         self.counters.cycles = self.cycle;
+        self.bpu.flush_tracers();
         PerfReport {
             workload: workload_name.to_string(),
             design: self.bpu.design_name().to_string(),
             counters: self.counters,
+            attribution: self.bpu.attribution_report(),
         }
     }
 
@@ -301,8 +309,10 @@ impl<S: InstructionStream> Core<S> {
     ) -> PerfReport {
         self.run(warmup, workload_name);
         let baseline = self.counters;
+        let baseline_attr = self.bpu.attribution_report();
         let mut report = self.run(warmup + measure, workload_name);
         report.counters = report.counters.delta(&baseline);
+        report.attribution = report.attribution.delta(&baseline_attr);
         report
     }
 

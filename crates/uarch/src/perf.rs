@@ -1,5 +1,7 @@
 //! Performance counters and the end-of-run report.
 
+use cobra_core::obs::AttributionReport;
+
 /// The out-of-band profiling counters the simulated core maintains
 /// (standing in for FireSim's profiling tools and `perf`).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -82,6 +84,10 @@ impl PerfCounters {
 }
 
 /// The result of simulating a workload to completion.
+///
+/// `Display` renders the one-line summary only; the attribution detail
+/// is reported by `cobra-trace` and the `--metrics` JSONL so existing
+/// stdout stays byte-identical.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PerfReport {
     /// Workload name.
@@ -90,6 +96,8 @@ pub struct PerfReport {
     pub design: String,
     /// Raw counters.
     pub counters: PerfCounters,
+    /// Per-component attribution counters (see [`cobra_core::obs`]).
+    pub attribution: AttributionReport,
 }
 
 impl std::fmt::Display for PerfReport {
