@@ -466,6 +466,7 @@ fn main() -> ExitCode {
         let result = runner::JobResult {
             report: report.clone(),
             wall,
+            trace: None,
         };
         let line = runner::metrics_record("cobra-trace", &result);
         if let Err(e) = runner::write_metrics(path, std::slice::from_ref(&line)) {

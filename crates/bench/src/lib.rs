@@ -24,13 +24,18 @@
 //! | `energy_report` | §VI-A future work — predictor SRAM energy |
 //! | `ablation_alternatives` | extension — statistical-corrector and perceptron designs |
 //! | `cobra-trace` | observability — per-component blame tables and event traces |
+//! | `cobra-capture` | workloads — capture any workload to a `.cbt` branch trace |
 //!
 //! Run lengths scale with the `COBRA_INSTS` environment variable
 //! (instructions per measured run, default 500 000; warm-up is 40 % of it).
 //! Setting `COBRA_TRACE=<path>` streams structured prediction events from
 //! every simulated BPU (see `cobra_core::obs::trace`), and
 //! `COBRA_METRICS=<path>` makes [`runner::run_grid`] append one JSONL
-//! record per job.
+//! record per job. Setting `COBRA_TRACE_DIR=<dir>` switches any grid
+//! binary to *trace-driven* execution: each job whose workload has a
+//! captured `<dir>/<workload>.cbt` replays that trace instead of
+//! generating the stream — byte-identical `PerfReport`s, so stdout does
+//! not change (see [`run_one_sourced`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -42,7 +47,8 @@ pub mod timing;
 
 use cobra_core::composer::Design;
 use cobra_uarch::{Core, CoreConfig, PerfReport};
-use cobra_workloads::ProgramSpec;
+use cobra_workloads::{ProgramSpec, TraceProgram};
+use std::path::PathBuf;
 
 /// Instructions per measured run (the `COBRA_INSTS` environment variable,
 /// default 500 000).
@@ -95,13 +101,135 @@ pub fn run_one_tagged(
     spec: &ProgramSpec,
     tag: Option<&str>,
 ) -> PerfReport {
+    run_one_sourced(design, cfg, spec, tag).report
+}
+
+/// The outcome of one simulation, with its workload provenance.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// The measured-region performance report.
+    pub report: PerfReport,
+    /// The `.cbt` file replayed, when the run was trace-driven
+    /// (`COBRA_TRACE_DIR`); `None` for execution-driven runs.
+    pub trace: Option<PathBuf>,
+}
+
+/// The directory named by `COBRA_TRACE_DIR`, if set and non-empty.
+///
+/// A set-but-missing directory warns once on stderr (a typo'd path would
+/// otherwise silently run every job execution-driven) and is then treated
+/// as unset.
+pub fn trace_dir() -> Option<PathBuf> {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let dir = std::env::var("COBRA_TRACE_DIR").ok()?;
+    let dir = dir.trim();
+    if dir.is_empty() {
+        return None;
+    }
+    let path = PathBuf::from(dir);
+    if !path.is_dir() {
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: COBRA_TRACE_DIR={dir:?} is not a directory; \
+                 running execution-driven"
+            );
+        });
+        return None;
+    }
+    Some(path)
+}
+
+/// The `.cbt` file a replayed run of `workload` would use
+/// (`$COBRA_TRACE_DIR/<workload>.cbt`), if `COBRA_TRACE_DIR` is set and
+/// the file exists.
+pub fn trace_path_for(workload: &str) -> Option<PathBuf> {
+    let path = trace_dir()?.join(format!("{workload}.cbt"));
+    path.is_file().then_some(path)
+}
+
+/// Like [`run_one_tagged`], but reporting whether the run replayed a
+/// captured trace: with `COBRA_TRACE_DIR` set and a `<workload>.cbt`
+/// present, the core consumes the replayed [`TraceProgram`] instead of a
+/// freshly generated stream. Capture preserves both halves of the
+/// workload interface (dynamic records and the static-decode image), so
+/// the resulting [`PerfReport`] is byte-identical either way — workloads
+/// without a captured trace quietly stay execution-driven, which keeps
+/// partially-captured grids runnable and stdout stable.
+///
+/// # Panics
+///
+/// Panics if the design fails to compose, or if the trace file exists but
+/// is corrupt or truncated (a fatal configuration error, reported with
+/// the precise [`CbtError`](cobra_workloads::CbtError)).
+pub fn run_one_sourced(
+    design: &Design,
+    cfg: CoreConfig,
+    spec: &ProgramSpec,
+    tag: Option<&str>,
+) -> RunOutcome {
     let measure = run_insts();
     let warmup = measure * 2 / 5;
-    let mut core = Core::new(design, cfg, spec.build()).expect("stock designs always compose");
-    if let Some(tag) = tag {
-        core.bpu_mut().retarget_env_tracer(tag);
+    match trace_path_for(&spec.name) {
+        Some(path) => {
+            let program = TraceProgram::open(&path)
+                .unwrap_or_else(|e| panic!("COBRA_TRACE_DIR replay of {}: {e}", path.display()));
+            if program.name() != spec.name {
+                eprintln!(
+                    "warning: {} was captured from workload {:?}, replaying as {:?}",
+                    path.display(),
+                    program.name(),
+                    spec.name
+                );
+            }
+            let mut core = Core::new(design, cfg, program).expect("stock designs always compose");
+            if let Some(tag) = tag {
+                core.bpu_mut().retarget_env_tracer(tag);
+            }
+            RunOutcome {
+                report: core.run_with_warmup(warmup, measure, &spec.name),
+                trace: Some(path),
+            }
+        }
+        None => {
+            let mut core =
+                Core::new(design, cfg, spec.build()).expect("stock designs always compose");
+            if let Some(tag) = tag {
+                core.bpu_mut().retarget_env_tracer(tag);
+            }
+            RunOutcome {
+                report: core.run_with_warmup(warmup, measure, &spec.name),
+                trace: None,
+            }
+        }
     }
-    core.run_with_warmup(warmup, measure, &spec.name)
+}
+
+/// The number of instructions [`capture_workload`] records for a measured
+/// region of `measure` instructions: warm-up (the harness's 40 %) plus
+/// the region itself plus fetch-ahead slack, so a replayed run never
+/// starves the frontend before the measured region completes.
+pub fn capture_len(measure: u64) -> u64 {
+    let warmup = measure * 2 / 5;
+    warmup + measure + measure / 10 + 16_384
+}
+
+/// Captures `spec` to `<dir>/<name>.cbt` sized for a measured region of
+/// `measure` instructions (see [`capture_len`]), returning the summary
+/// and the path written.
+///
+/// # Errors
+///
+/// Propagates [`CbtError`](cobra_workloads::CbtError) from encode or I/O.
+pub fn capture_workload(
+    spec: &ProgramSpec,
+    measure: u64,
+    dir: &std::path::Path,
+) -> Result<(cobra_workloads::CbtSummary, PathBuf), cobra_workloads::CbtError> {
+    let path = dir.join(format!("{}.cbt", spec.name));
+    let mut stream = spec.build();
+    let summary =
+        cobra_workloads::capture_to_file(&mut stream, capture_len(measure), &spec.name, &path)?;
+    Ok((summary, path))
 }
 
 /// Prints a horizontal bar scaled to `frac` of `width` characters.

@@ -27,7 +27,7 @@
 //! Setting `COBRA_METRICS=<path>` additionally appends one JSONL record
 //! per job (same id, in job order) once the grid completes.
 
-use crate::{jsonv, run_one_tagged};
+use crate::{jsonv, run_one_sourced};
 use cobra_core::composer::Design;
 use cobra_uarch::{CoreConfig, PerfReport};
 use cobra_workloads::ProgramSpec;
@@ -145,6 +145,11 @@ pub struct JobResult {
     pub report: PerfReport,
     /// Wall-clock time of the whole job (warm-up + measured region).
     pub wall: Duration,
+    /// The `.cbt` file replayed when the job ran trace-driven
+    /// (`COBRA_TRACE_DIR`); `None` for execution-driven jobs. Carried so
+    /// both the stderr progress line and the `COBRA_METRICS` record can
+    /// say which jobs replayed a trace.
+    pub trace: Option<std::path::PathBuf>,
 }
 
 impl JobResult {
@@ -163,7 +168,7 @@ impl JobResult {
 
 /// Runs `jobs` on `threads` worker threads. Results come back in job
 /// order; each row is bit-identical to what a serial loop over
-/// [`run_one`] would produce.
+/// [`run_one`](crate::run_one) would produce.
 pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
     let total = jobs.len();
     let started = Instant::now();
@@ -171,19 +176,26 @@ pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
     let results = parallel_map_on(threads, jobs, |i, job| {
         let tag = job_id(i);
         let t = Instant::now();
-        let report = run_one_tagged(
+        let outcome = run_one_sourced(
             job.design,
             job.cfg,
             job.spec,
             Some(&format!("{tag}-{}-{}", job.design.name, job.spec.name)),
         );
         let r = JobResult {
-            report,
+            report: outcome.report,
             wall: t.elapsed(),
+            trace: outcome.trace,
         };
         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
+        // Replayed jobs carry their trace path so trace-driven grid runs
+        // are distinguishable from execution-driven ones in the logs.
+        let trace_note = match &r.trace {
+            Some(p) => format!(" trace={}", p.display()),
+            None => String::new(),
+        };
         eprintln!(
-            "[runner] {n}/{total} {tag} {:<28} {:>7.2}s {:>7.2} MIPS",
+            "[runner] {n}/{total} {tag} {:<28} {:>7.2}s {:>7.2} MIPS{trace_note}",
             job.label(),
             r.wall.as_secs_f64(),
             r.mips()
@@ -240,10 +252,16 @@ pub fn job_id(i: usize) -> String {
 /// --metrics` emits, so both surfaces share one schema.
 pub fn metrics_record(job_id: &str, r: &JobResult) -> String {
     let c = &r.report.counters;
+    // Replayed jobs record their trace path so trace-driven runs are
+    // distinguishable when mining the metrics stream.
+    let trace_field = match &r.trace {
+        Some(p) => format!(",\"trace\":{}", jsonv::escape(&p.display().to_string())),
+        None => String::new(),
+    };
     format!(
         "{{\"job\":{},\"design\":{},\"workload\":{},\"wall_s\":{:.6},\"mips\":{:.3},\
          \"ipc\":{:.4},\"mpki\":{:.4},\"acc\":{:.4},\"insts\":{},\"cycles\":{},\
-         \"branch_misses\":{}}}",
+         \"branch_misses\":{}{trace_field}}}",
         jsonv::escape(job_id),
         jsonv::escape(&r.report.design),
         jsonv::escape(&r.report.workload),
@@ -327,6 +345,7 @@ mod tests {
                 attribution: Default::default(),
             },
             wall: Duration::from_millis(1234),
+            trace: None,
         };
         let line = metrics_record(&job_id(3), &r);
         let v = jsonv::parse(&line).expect("record parses");
@@ -338,6 +357,19 @@ mod tests {
         assert_eq!(
             v.get("branch_misses").and_then(jsonv::Json::as_u64),
             Some(0)
+        );
+        // Execution-driven records have no trace field at all …
+        assert!(v.get("trace").is_none());
+        // … replayed jobs carry the trace path.
+        let replayed = JobResult {
+            trace: Some(std::path::PathBuf::from("/tmp/traces/gcc.cbt")),
+            ..r
+        };
+        let line = metrics_record(&job_id(3), &replayed);
+        let v = jsonv::parse(&line).expect("record parses");
+        assert_eq!(
+            v.get("trace").and_then(jsonv::Json::as_str),
+            Some("/tmp/traces/gcc.cbt")
         );
     }
 

@@ -25,6 +25,9 @@
 //! * [`SplitMix64`] — a tiny deterministic RNG for stimulus and for the rare
 //!   randomized hardware policies (e.g. TAGE allocation victim choice).
 //! * [`bits`] — bit-field extraction and hash-mixing helpers.
+//! * [`varint`] — LEB128/ZigZag integer coding and [`Crc32c`] checksums,
+//!   the serialization primitives under the COBRA Binary Trace format
+//!   (`cobra_workloads::cbt`).
 //!
 //! Everything in this crate is deterministic and allocation-light; the
 //! simulator's hot loops run over these types.
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 
 pub mod bits;
+mod checksum;
 mod circular;
 mod counter;
 mod fifo;
@@ -41,7 +45,9 @@ mod history;
 mod rng;
 mod slab;
 mod sram;
+pub mod varint;
 
+pub use checksum::{crc32c, Crc32c};
 pub use circular::CircularBuffer;
 pub use counter::{CounterState, SaturatingCounter};
 pub use fifo::Fifo;

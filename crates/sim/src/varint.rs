@@ -1,0 +1,162 @@
+//! LEB128 variable-length integer encoding, plus ZigZag for signed deltas.
+//!
+//! The COBRA Binary Trace format (`cobra_workloads::cbt`) stores per-branch
+//! records as deltas; small magnitudes dominate, so unsigned values are
+//! LEB128-encoded (7 payload bits per byte, continuation in the top bit)
+//! and signed deltas are ZigZag-folded first so that values near zero of
+//! either sign stay short.
+
+/// Maximum encoded length of a `u64` varint (⌈64 / 7⌉ bytes).
+pub const MAX_VARINT_LEN: usize = 10;
+
+/// Appends the LEB128 encoding of `v` to `out`.
+pub fn write_u64(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends the ZigZag-folded LEB128 encoding of `v` to `out`.
+pub fn write_i64(out: &mut Vec<u8>, v: i64) {
+    write_u64(out, zigzag(v));
+}
+
+/// Folds a signed value into an unsigned one with small absolute values
+/// mapping to small results: 0, -1, 1, -2, … → 0, 1, 2, 3, …
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
+}
+
+/// Decodes a LEB128 `u64` from `buf` starting at `*pos`, advancing `*pos`
+/// past the encoding.
+///
+/// Returns `None` if the buffer ends mid-varint or the encoding runs past
+/// [`MAX_VARINT_LEN`] bytes (a non-canonical or corrupt stream).
+pub fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    for _ in 0..MAX_VARINT_LEN {
+        let byte = *buf.get(*pos)?;
+        *pos += 1;
+        // The 10th byte may only carry the single remaining bit.
+        if shift == 63 && byte > 1 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+    None
+}
+
+/// Decodes a ZigZag-folded LEB128 `i64`; see [`read_u64`].
+pub fn read_i64(buf: &[u8], pos: &mut usize) -> Option<i64> {
+    read_u64(buf, pos).map(unzigzag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_u64() {
+        let cases = [
+            0u64,
+            1,
+            127,
+            128,
+            300,
+            16383,
+            16384,
+            u32::MAX as u64,
+            u64::MAX - 1,
+            u64::MAX,
+        ];
+        for &v in &cases {
+            let mut buf = Vec::new();
+            write_u64(&mut buf, v);
+            assert!(buf.len() <= MAX_VARINT_LEN);
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf, &mut pos), Some(v), "value {v}");
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn round_trips_i64() {
+        for &v in &[
+            0i64,
+            1,
+            -1,
+            63,
+            -64,
+            2_000_000,
+            -2_000_000,
+            i64::MAX,
+            i64::MIN,
+        ] {
+            let mut buf = Vec::new();
+            write_i64(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_i64(&buf, &mut pos), Some(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn zigzag_is_small_for_small_magnitudes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        assert_eq!(unzigzag(zigzag(i64::MIN)), i64::MIN);
+    }
+
+    #[test]
+    fn truncated_input_is_rejected() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            let mut pos = 0;
+            assert_eq!(read_u64(&buf[..cut], &mut pos), None, "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_rejected() {
+        // Eleven continuation bytes can never be a canonical u64.
+        let buf = [0x80u8; 11];
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+        // A 10th byte carrying more than the final bit overflows 64 bits.
+        let mut buf = vec![0x80u8; 9];
+        buf.push(0x02);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), None);
+    }
+
+    #[test]
+    fn sequences_concatenate() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, 7);
+        write_i64(&mut buf, -300);
+        write_u64(&mut buf, 1 << 40);
+        let mut pos = 0;
+        assert_eq!(read_u64(&buf, &mut pos), Some(7));
+        assert_eq!(read_i64(&buf, &mut pos), Some(-300));
+        assert_eq!(read_u64(&buf, &mut pos), Some(1 << 40));
+        assert_eq!(pos, buf.len());
+    }
+}

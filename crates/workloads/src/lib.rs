@@ -15,16 +15,24 @@
 //!   executor (an infinite [`InstructionStream`](cobra_uarch::InstructionStream));
 //! * [`mod@spec17`] — ten profiles standing in for the SPECint17 suite;
 //! * [`kernels`] — Dhrystone, a CoreMark-like kernel with hammock branches
-//!   for the Section VI-C experiment, and predictor stress kernels.
+//!   for the Section VI-C experiment, and predictor stress kernels;
+//! * [`cbt`] — the COBRA Binary Trace format: versioned, block-structured,
+//!   checksummed on-disk branch traces (spec in `docs/TRACE_FORMAT.md`);
+//! * [`replay`] — capture any [`InstructionStream`](cobra_uarch::InstructionStream)
+//!   to `.cbt` and replay it byte-identically via [`TraceProgram`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod behavior;
+pub mod cbt;
 pub mod kernels;
+pub mod replay;
 pub mod spec17;
 pub mod synth;
 
 pub use behavior::{BehaviorState, BranchBehavior};
+pub use cbt::{CbtError, CbtReader, CbtSummary, CbtWriter, StaticImage};
+pub use replay::{capture_stream, capture_to_file, TraceProgram};
 pub use spec17::{all_spec17, spec17, SPEC17_NAMES};
 pub use synth::{BranchMix, ProgramSpec, SyntheticProgram};
