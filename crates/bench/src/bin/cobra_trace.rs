@@ -467,6 +467,7 @@ fn main() -> ExitCode {
             report: report.clone(),
             wall,
             trace: None,
+            checkpoint: None,
         };
         let line = runner::metrics_record("cobra-trace", &result);
         if let Err(e) = runner::write_metrics(path, std::slice::from_ref(&line)) {

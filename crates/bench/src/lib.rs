@@ -25,6 +25,7 @@
 //! | `ablation_alternatives` | extension — statistical-corrector and perceptron designs |
 //! | `cobra-trace` | observability — per-component blame tables and event traces |
 //! | `cobra-capture` | workloads — capture any workload to a `.cbt` branch trace |
+//! | `cobra-checkpoint` | warm state — capture `.cbs` warm-state checkpoints for warmup-once grids |
 //!
 //! Run lengths scale with the `COBRA_INSTS` environment variable
 //! (instructions per measured run, default 500 000; warm-up is 40 % of it).
@@ -35,7 +36,14 @@
 //! binary to *trace-driven* execution: each job whose workload has a
 //! captured `<dir>/<workload>.cbt` replays that trace instead of
 //! generating the stream — byte-identical `PerfReport`s, so stdout does
-//! not change (see [`run_one_sourced`]).
+//! not change (see [`run_one_sourced`]). Setting `COBRA_CKPT_DIR=<dir>`
+//! makes every grid binary restore jobs from warm-state checkpoints: a
+//! job whose `<dir>/<design>--<workload>.cbs` exists (written by
+//! `cobra-checkpoint`) skips its warm-up entirely by restoring the
+//! checkpointed machine state at the warmup boundary — again with a
+//! byte-identical `PerfReport`, enforced by the checkpoint's identity
+//! header. Checkpoints compose with `COBRA_TRACE_DIR`: the restored
+//! workload cursor fast-forwards whichever stream source the job uses.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,7 +54,7 @@ pub mod runner;
 pub mod timing;
 
 use cobra_core::composer::Design;
-use cobra_uarch::{Core, CoreConfig, PerfReport};
+use cobra_uarch::{restore_checkpoint, CbsMeta, Core, CoreConfig, InstructionStream, PerfReport};
 use cobra_workloads::{ProgramSpec, TraceProgram};
 use std::path::PathBuf;
 
@@ -112,6 +120,10 @@ pub struct RunOutcome {
     /// The `.cbt` file replayed, when the run was trace-driven
     /// (`COBRA_TRACE_DIR`); `None` for execution-driven runs.
     pub trace: Option<PathBuf>,
+    /// The `.cbs` file restored, when the run skipped its warm-up via a
+    /// warm-state checkpoint (`COBRA_CKPT_DIR`); `None` for runs that
+    /// warmed up from scratch.
+    pub checkpoint: Option<PathBuf>,
 }
 
 /// The directory named by `COBRA_TRACE_DIR`, if set and non-empty.
@@ -144,6 +156,46 @@ pub fn trace_dir() -> Option<PathBuf> {
 /// the file exists.
 pub fn trace_path_for(workload: &str) -> Option<PathBuf> {
     let path = trace_dir()?.join(format!("{workload}.cbt"));
+    path.is_file().then_some(path)
+}
+
+/// The directory named by `COBRA_CKPT_DIR`, if set and non-empty.
+///
+/// A set-but-missing directory warns once on stderr (a typo'd path would
+/// otherwise silently warm every job up from scratch) and is then treated
+/// as unset.
+pub fn ckpt_dir() -> Option<PathBuf> {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let dir = std::env::var("COBRA_CKPT_DIR").ok()?;
+    let dir = dir.trim();
+    if dir.is_empty() {
+        return None;
+    }
+    let path = PathBuf::from(dir);
+    if !path.is_dir() {
+        WARNED.call_once(|| {
+            eprintln!(
+                "warning: COBRA_CKPT_DIR={dir:?} is not a directory; \
+                 warming up from scratch"
+            );
+        });
+        return None;
+    }
+    Some(path)
+}
+
+/// The file name a checkpoint of `design` on `workload` uses:
+/// `<design>--<workload>.cbs` (the double dash keeps design names with
+/// single dashes, like `TAGE-L`, unambiguous).
+pub fn ckpt_file_name(design: &str, workload: &str) -> String {
+    format!("{design}--{workload}.cbs")
+}
+
+/// The `.cbs` file a restored run of `design` on `workload` would use
+/// (`$COBRA_CKPT_DIR/<design>--<workload>.cbs`), if `COBRA_CKPT_DIR` is
+/// set and the file exists.
+pub fn ckpt_path_for(design: &str, workload: &str) -> Option<PathBuf> {
+    let path = ckpt_dir()?.join(ckpt_file_name(design, workload));
     path.is_file().then_some(path)
 }
 
@@ -185,9 +237,11 @@ pub fn run_one_sourced(
             if let Some(tag) = tag {
                 core.bpu_mut().retarget_env_tracer(tag);
             }
+            let checkpoint = restore_into(design, &cfg, &spec.name, warmup, &mut core);
             RunOutcome {
                 report: core.run_with_warmup(warmup, measure, &spec.name),
                 trace: Some(path),
+                checkpoint,
             }
         }
         None => {
@@ -196,12 +250,43 @@ pub fn run_one_sourced(
             if let Some(tag) = tag {
                 core.bpu_mut().retarget_env_tracer(tag);
             }
+            let checkpoint = restore_into(design, &cfg, &spec.name, warmup, &mut core);
             RunOutcome {
                 report: core.run_with_warmup(warmup, measure, &spec.name),
                 trace: None,
+                checkpoint,
             }
         }
     }
+}
+
+/// Restores `$COBRA_CKPT_DIR/<design>--<workload>.cbs` into a
+/// freshly-built core, if the directory is set and the file exists,
+/// returning the path restored. Jobs without a matching checkpoint
+/// quietly warm up from scratch, which keeps partially-checkpointed
+/// grids runnable and stdout stable.
+///
+/// # Panics
+///
+/// Panics if the checkpoint file exists but is corrupt, truncated, or was
+/// captured under a different design, configuration, workload, or warmup
+/// boundary — restoring it anyway would silently skew the measured
+/// region, so a mismatch is a fatal configuration error, reported with
+/// the precise [`CbsError`](cobra_uarch::CbsError).
+fn restore_into<S: InstructionStream>(
+    design: &Design,
+    cfg: &CoreConfig,
+    workload: &str,
+    warmup: u64,
+    core: &mut Core<S>,
+) -> Option<PathBuf> {
+    let path = ckpt_path_for(&design.name, workload)?;
+    let meta = CbsMeta::for_run(design, cfg, workload, warmup);
+    let file = std::fs::File::open(&path)
+        .unwrap_or_else(|e| panic!("COBRA_CKPT_DIR restore of {}: {e}", path.display()));
+    restore_checkpoint(std::io::BufReader::new(file), &meta, core)
+        .unwrap_or_else(|e| panic!("COBRA_CKPT_DIR restore of {}: {e}", path.display()));
+    Some(path)
 }
 
 /// The number of instructions [`capture_workload`] records for a measured

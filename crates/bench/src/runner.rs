@@ -150,6 +150,11 @@ pub struct JobResult {
     /// both the stderr progress line and the `COBRA_METRICS` record can
     /// say which jobs replayed a trace.
     pub trace: Option<std::path::PathBuf>,
+    /// The `.cbs` file restored when the job skipped its warm-up via a
+    /// warm-state checkpoint (`COBRA_CKPT_DIR`); `None` for jobs that
+    /// warmed up from scratch. Carried for the same reporting surfaces
+    /// as `trace`.
+    pub checkpoint: Option<std::path::PathBuf>,
 }
 
 impl JobResult {
@@ -186,16 +191,21 @@ pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
             report: outcome.report,
             wall: t.elapsed(),
             trace: outcome.trace,
+            checkpoint: outcome.checkpoint,
         };
         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-        // Replayed jobs carry their trace path so trace-driven grid runs
-        // are distinguishable from execution-driven ones in the logs.
-        let trace_note = match &r.trace {
-            Some(p) => format!(" trace={}", p.display()),
-            None => String::new(),
-        };
+        // Replayed / restored jobs carry their provenance paths so
+        // trace-driven and warmup-skipping grid runs are distinguishable
+        // from plain execution-driven ones in the logs.
+        let mut note = String::new();
+        if let Some(p) = &r.trace {
+            note.push_str(&format!(" trace={}", p.display()));
+        }
+        if let Some(p) = &r.checkpoint {
+            note.push_str(&format!(" ckpt={}", p.display()));
+        }
         eprintln!(
-            "[runner] {n}/{total} {tag} {:<28} {:>7.2}s {:>7.2} MIPS{trace_note}",
+            "[runner] {n}/{total} {tag} {:<28} {:>7.2}s {:>7.2} MIPS{note}",
             job.label(),
             r.wall.as_secs_f64(),
             r.mips()
@@ -252,12 +262,19 @@ pub fn job_id(i: usize) -> String {
 /// --metrics` emits, so both surfaces share one schema.
 pub fn metrics_record(job_id: &str, r: &JobResult) -> String {
     let c = &r.report.counters;
-    // Replayed jobs record their trace path so trace-driven runs are
-    // distinguishable when mining the metrics stream.
-    let trace_field = match &r.trace {
+    // Replayed / restored jobs record their provenance paths so
+    // trace-driven and checkpoint-restored runs are distinguishable when
+    // mining the metrics stream.
+    let mut trace_field = match &r.trace {
         Some(p) => format!(",\"trace\":{}", jsonv::escape(&p.display().to_string())),
         None => String::new(),
     };
+    if let Some(p) = &r.checkpoint {
+        trace_field.push_str(&format!(
+            ",\"checkpoint\":{}",
+            jsonv::escape(&p.display().to_string())
+        ));
+    }
     format!(
         "{{\"job\":{},\"design\":{},\"workload\":{},\"wall_s\":{:.6},\"mips\":{:.3},\
          \"ipc\":{:.4},\"mpki\":{:.4},\"acc\":{:.4},\"insts\":{},\"cycles\":{},\
@@ -346,6 +363,7 @@ mod tests {
             },
             wall: Duration::from_millis(1234),
             trace: None,
+            checkpoint: None,
         };
         let line = metrics_record(&job_id(3), &r);
         let v = jsonv::parse(&line).expect("record parses");

@@ -10,7 +10,7 @@
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
-use cobra_sim::{PortKind, SramModel};
+use cobra_sim::{PortKind, SnapError, SramModel, StateReader, StateWriter};
 
 /// Configuration for a [`Btb`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,6 +246,33 @@ impl Component for Btb {
                 );
             }
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.victim_ptr);
+        for way in &self.ways {
+            way.save_state(w, |w, e| {
+                w.write_bool(e.valid);
+                w.write_u64(e.tag);
+                w.write_u64(BranchKind::encode_opt(e.kind));
+                w.write_u64(e.target);
+            });
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.victim_ptr = r.read_u64("btb victim ptr")?;
+        for way in &mut self.ways {
+            way.load_state(r, |r| {
+                Ok(BtbEntry {
+                    valid: r.read_bool("btb valid")?,
+                    tag: r.read_u64("btb tag")?,
+                    kind: BranchKind::decode_opt(r.read_u64("btb kind")?)?,
+                    target: r.read_u64("btb target")?,
+                })
+            })?;
+        }
+        Ok(())
     }
 }
 

@@ -10,7 +10,9 @@
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
-use cobra_sim::{HistoryRegister, PortKind, SaturatingCounter, SramModel};
+use cobra_sim::{
+    HistoryRegister, PortKind, SaturatingCounter, SnapError, SramModel, StateReader, StateWriter,
+};
 
 /// Configuration for a [`Gtag`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -238,6 +240,35 @@ impl Component for Gtag {
             }
             self.table.write(idx, e);
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.table.save_state(w, |w, e| {
+            w.write_bool(e.valid);
+            w.write_u64(e.tag);
+            for &c in &e.ctrs {
+                w.write_u64(u64::from(c));
+            }
+            w.write_u64(u64::from(e.useful));
+        });
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.table.load_state(r, |r| {
+            let valid = r.read_bool("gtag valid")?;
+            let tag = r.read_u64("gtag tag")?;
+            let mut ctrs = [0u8; crate::types::MAX_FETCH_WIDTH];
+            for c in &mut ctrs {
+                *c = r.read_u64_capped("gtag counter", 0xff)? as u8;
+            }
+            let useful = r.read_u64_capped("gtag useful", 0xff)? as u8;
+            Ok(GtagEntry {
+                valid,
+                tag,
+                ctrs,
+                useful,
+            })
+        })
     }
 }
 

@@ -11,7 +11,7 @@
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
-use cobra_sim::{PortKind, SaturatingCounter, SramModel};
+use cobra_sim::{PortKind, SaturatingCounter, SnapError, SramModel, StateReader, StateWriter};
 
 /// How an [`Hbim`] computes its table index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -363,6 +363,15 @@ impl Component for Hbim {
             c.train(r.taken);
             self.table.write(idx, c.value());
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.table.save_state(w, |w, &c| w.write_u64(u64::from(c)));
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.table
+            .load_state(r, |r| Ok(r.read_u64_capped("bim counter", 0xff)? as u8))
     }
 }
 

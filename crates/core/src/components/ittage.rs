@@ -16,7 +16,9 @@
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
-use cobra_sim::{HistoryRegister, PortKind, SaturatingCounter, SramModel};
+use cobra_sim::{
+    HistoryRegister, PortKind, SaturatingCounter, SnapError, SramModel, StateReader, StateWriter,
+};
 
 /// Configuration for an [`Ittage`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -301,6 +303,31 @@ impl Component for Ittage {
                 }
             }
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        for table in &self.tables {
+            table.save_state(w, |w, e| {
+                w.write_bool(e.valid);
+                w.write_u64(e.tag);
+                w.write_u64(e.target);
+                w.write_u64(u64::from(e.ctr));
+            });
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        for table in &mut self.tables {
+            table.load_state(r, |r| {
+                Ok(ItEntry {
+                    valid: r.read_bool("ittage valid")?,
+                    tag: r.read_u64("ittage tag")?,
+                    target: r.read_u64("ittage target")?,
+                    ctr: r.read_u64_capped("ittage counter", 0xff)? as u8,
+                })
+            })?;
+        }
+        Ok(())
     }
 }
 

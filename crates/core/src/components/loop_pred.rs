@@ -17,6 +17,7 @@ use crate::iface::{
 };
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
+use cobra_sim::{SnapError, StateReader, StateWriter};
 
 /// Configuration for a [`LoopPredictor`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -276,6 +277,33 @@ impl Component for LoopPredictor {
                 }
             }
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        for e in &self.entries {
+            w.write_bool(e.valid);
+            w.write_u64(e.tag);
+            w.write_u64(u64::from(e.slot));
+            w.write_u64(u64::from(e.trip));
+            w.write_u64(u64::from(e.spec_iter));
+            w.write_u64(u64::from(e.arch_iter));
+            w.write_u64(u64::from(e.conf));
+            w.write_u64(u64::from(e.age));
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        for e in &mut self.entries {
+            e.valid = r.read_bool("loop valid")?;
+            e.tag = r.read_u64("loop tag")?;
+            e.slot = r.read_u64_capped("loop slot", 0xff)? as u8;
+            e.trip = r.read_u64_capped("loop trip", u64::from(u32::MAX))? as u32;
+            e.spec_iter = r.read_u64_capped("loop spec iter", u64::from(u32::MAX))? as u32;
+            e.arch_iter = r.read_u64_capped("loop arch iter", u64::from(u32::MAX))? as u32;
+            e.conf = r.read_u64_capped("loop conf", 0xff)? as u8;
+            e.age = r.read_u64_capped("loop age", 0xff)? as u8;
+        }
+        Ok(())
     }
 }
 

@@ -15,7 +15,7 @@
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
-use cobra_sim::{PortKind, SramModel};
+use cobra_sim::{PortKind, SnapError, SramModel, StateReader, StateWriter};
 
 /// Configuration for a [`Perceptron`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -197,6 +197,39 @@ impl Component for Perceptron {
             *w = (*w + t * x).clamp(-wmax - 1, wmax);
         }
         self.weights.write(idx, row);
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.weights.save_state(w, |w, row| {
+            w.write_u64(row.len() as u64);
+            for &wt in row {
+                w.write_i64(i64::from(wt));
+            }
+        });
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let row_len = self.cfg.hist_len as u64 + 1;
+        self.weights.load_state(r, |r| {
+            let n = r.read_u64_capped("weight row length", row_len)?;
+            if n != row_len {
+                return Err(SnapError::BadValue {
+                    what: "weight row length",
+                    got: n,
+                });
+            }
+            let mut row = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                let v = r.read_i64("perceptron weight")?;
+                if i16::try_from(v).is_err() {
+                    return Err(SnapError::Shape {
+                        detail: format!("perceptron weight {v} exceeds i16 range"),
+                    });
+                }
+                row.push(v as i16);
+            }
+            Ok(row)
+        })
     }
 }
 

@@ -12,7 +12,7 @@
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
-use cobra_sim::{PortKind, SramModel};
+use cobra_sim::{PortKind, SnapError, SramModel, StateReader, StateWriter};
 
 /// Configuration for a [`StatisticalCorrector`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -249,6 +249,24 @@ impl Component for StatisticalCorrector {
                 }
             }
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        for table in &self.tables {
+            table.save_state(w, |w, &c| w.write_i64(i64::from(c)));
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        for table in &mut self.tables {
+            table.load_state(r, |r| {
+                let v = r.read_i64("corrector counter")?;
+                i8::try_from(v).map_err(|_| SnapError::Shape {
+                    detail: format!("corrector counter {v} exceeds i8 range"),
+                })
+            })?;
+        }
+        Ok(())
     }
 }
 

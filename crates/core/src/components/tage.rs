@@ -23,7 +23,10 @@
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport, MAX_FETCH_WIDTH};
 use cobra_sim::bits;
-use cobra_sim::{HistoryRegister, PortKind, SaturatingCounter, SplitMix64, SramModel};
+use cobra_sim::{
+    HistoryRegister, PortKind, SaturatingCounter, SnapError, Snapshot, SplitMix64, SramModel,
+    StateReader, StateWriter,
+};
 
 /// Configuration for a [`Tage`] component.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -459,6 +462,47 @@ impl Component for Tage {
             self.tables[pt].write(idx, e);
         }
         let _ = alt_plus1;
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(u64::from(self.use_alt_on_na.value()));
+        w.write_u64(self.update_count);
+        self.rng.save_state(w);
+        for table in &self.tables {
+            table.save_state(w, |w, e| {
+                w.write_bool(e.valid);
+                w.write_u64(e.tag);
+                for &c in &e.ctrs {
+                    w.write_u64(u64::from(c));
+                }
+                w.write_u64(u64::from(e.useful));
+            });
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let ua = r.read_u64_capped("tage use_alt_on_na", 0xff)?;
+        self.use_alt_on_na.set(ua as u8);
+        self.update_count = r.read_u64("tage update count")?;
+        self.rng.load_state(r)?;
+        for table in &mut self.tables {
+            table.load_state(r, |r| {
+                let valid = r.read_bool("tage valid")?;
+                let tag = r.read_u64("tage tag")?;
+                let mut ctrs = [0u8; MAX_FETCH_WIDTH];
+                for c in &mut ctrs {
+                    *c = r.read_u64_capped("tage counter", 0xff)? as u8;
+                }
+                let useful = r.read_u64_capped("tage useful", 0xff)? as u8;
+                Ok(TageEntry {
+                    valid,
+                    tag,
+                    ctrs,
+                    useful,
+                })
+            })?;
+        }
+        Ok(())
     }
 }
 

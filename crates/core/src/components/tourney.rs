@@ -11,7 +11,7 @@
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
-use cobra_sim::{PortKind, SaturatingCounter, SramModel};
+use cobra_sim::{PortKind, SaturatingCounter, SnapError, SramModel, StateReader, StateWriter};
 
 /// Configuration for a [`Tourney`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -241,6 +241,16 @@ impl Component for Tourney {
         if touched {
             self.chooser.write(idx, ctr.value());
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.chooser
+            .save_state(w, |w, &c| w.write_u64(u64::from(c)));
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.chooser
+            .load_state(r, |r| Ok(r.read_u64_capped("chooser counter", 0xff)? as u8))
     }
 }
 

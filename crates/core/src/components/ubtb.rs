@@ -9,7 +9,7 @@
 
 use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
-use cobra_sim::SaturatingCounter;
+use cobra_sim::{SaturatingCounter, SnapError, StateReader, StateWriter};
 
 /// Configuration for a [`MicroBtb`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -171,6 +171,35 @@ impl Component for MicroBtb {
                 };
             }
         }
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.victim_ptr as u64);
+        for e in &self.entries {
+            w.write_bool(e.valid);
+            w.write_u64(e.pc);
+            w.write_u64(e.kind.code());
+            w.write_u64(e.target);
+            w.write_u64(u64::from(e.ctr.value()));
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.victim_ptr = r.read_u64("ubtb victim ptr")? as usize;
+        for e in &mut self.entries {
+            e.valid = r.read_bool("ubtb valid")?;
+            e.pc = r.read_u64("ubtb pc")?;
+            let code = r.read_u64("ubtb kind")?;
+            e.kind = BranchKind::from_code(code).ok_or(SnapError::BadValue {
+                what: "ubtb kind",
+                got: code,
+            })?;
+            e.target = r.read_u64("ubtb target")?;
+            let ctr = r.read_u64_capped("ubtb counter", 0xff)?;
+            e.ctr = SaturatingCounter::new(self.cfg.counter_bits, 0);
+            e.ctr.set(ctr as u8);
+        }
+        Ok(())
     }
 }
 

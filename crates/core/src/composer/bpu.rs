@@ -46,7 +46,7 @@ use crate::iface::{HistoryView, SlotResolution, UpdateEvent};
 use crate::obs::trace::{TraceEvent, TraceEventKind, TraceSink};
 use crate::obs::{AttributionReport, DecisionField, PcBlame, StatsSink};
 use crate::types::{BranchKind, PredictionBundle, StorageReport, SLOT_BYTES};
-use cobra_sim::{HistoryRegister, TokenSlab};
+use cobra_sim::{HistoryRegister, SnapError, Snapshot, StateReader, StateWriter, TokenSlab};
 
 /// Identifies an in-flight fetch packet (its history-file token).
 pub type PacketId = u64;
@@ -813,6 +813,79 @@ impl BranchPredictorUnit {
     /// Number of live history-file entries.
     pub fn in_flight(&self) -> usize {
         self.hf.len()
+    }
+
+    /// Serializes the unit's complete warm state: every component's tables,
+    /// the history providers, the history file of in-flight packets, the
+    /// transient stage bundles, and the unit's own counters and
+    /// attribution sink.
+    ///
+    /// Configuration (design, topology, widths) is *not* stored — the
+    /// `.cbs` container carries it as identity metadata instead, and
+    /// [`load_state`](Self::load_state) expects a unit built from the same
+    /// design. Transient scratch registers and attached tracers are
+    /// excluded: the former are recomputed per packet, the latter are host
+    /// plumbing.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.begin_section("bpu");
+        w.write_u64(self.cycle);
+        w.write_u64(self.stats.queries);
+        w.write_u64(self.stats.accepts);
+        w.write_u64(self.stats.commits);
+        w.write_u64(self.stats.cond_branches);
+        w.write_u64(self.stats.mispredicts);
+        w.write_u64(self.stats.revisions);
+        w.write_u64(self.stats.repair_entries);
+        w.write_u64(self.last_repair_cycles);
+        self.ghist.save_state(w);
+        self.lhist.save_state(w);
+        self.phist.save_state(w);
+        self.hf.save_state(w);
+        self.stage_bundles.save_state(w, |w, bundles| {
+            w.write_u64(bundles.len() as u64);
+            for b in bundles {
+                b.save_state(w);
+            }
+        });
+        self.obs.save_state(w);
+        self.pipeline.save_state(w);
+        w.end_section();
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// unit built from the same design.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the payload is malformed or was
+    /// written by a pipeline with different node labels or table shapes.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        r.open_section("bpu")?;
+        self.cycle = r.read_u64("bpu cycle")?;
+        self.stats.queries = r.read_u64("bpu queries")?;
+        self.stats.accepts = r.read_u64("bpu accepts")?;
+        self.stats.commits = r.read_u64("bpu commits")?;
+        self.stats.cond_branches = r.read_u64("bpu cond branches")?;
+        self.stats.mispredicts = r.read_u64("bpu mispredicts")?;
+        self.stats.revisions = r.read_u64("bpu revisions")?;
+        self.stats.repair_entries = r.read_u64("bpu repair entries")?;
+        self.last_repair_cycles = r.read_u64("bpu last repair cycles")?;
+        self.ghist.load_state(r)?;
+        self.lhist.load_state(r)?;
+        self.phist.load_state(r)?;
+        self.hf.load_state(r)?;
+        let depth = crate::composer::pipeline::MAX_DEPTH as u64;
+        self.stage_bundles.load_state(r, |r| {
+            let n = r.read_u64_capped("stage bundle count", depth)?;
+            let mut bundles = Vec::with_capacity(n as usize);
+            for _ in 0..n {
+                bundles.push(PredictionBundle::load_state(r)?);
+            }
+            Ok(bundles)
+        })?;
+        self.obs.load_state(r)?;
+        self.pipeline.load_state(r)?;
+        r.close_section()
     }
 }
 

@@ -8,8 +8,10 @@
 
 use crate::iface::SlotResolution;
 use crate::obs::PacketAttribution;
-use crate::types::{Meta, PredictionBundle, StorageReport};
-use cobra_sim::{CircularBuffer, HistorySnapshot, PortKind, SramSpec};
+use crate::types::{Meta, PredictionBundle, StorageReport, MAX_FETCH_WIDTH};
+use cobra_sim::{
+    CircularBuffer, HistorySnapshot, PortKind, SnapError, SramSpec, StateReader, StateWriter,
+};
 
 /// Lifecycle phase of a history-file entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,99 @@ impl HistoryFileEntry {
             Ok(i) => self.resolutions[i] = res,
             Err(i) => self.resolutions.insert(i, res),
         }
+    }
+
+    /// Serializes the entry into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.pc);
+        w.write_u64(match self.phase {
+            EntryPhase::Fetching => 0,
+            EntryPhase::Accepted => 1,
+        });
+        self.ghist.save_state(w);
+        w.write_u64(self.lhist_query);
+        w.write_u64(self.lhist_old);
+        w.write_u64(self.phist);
+        w.write_u64(self.metas.len() as u64);
+        for m in &self.metas {
+            w.write_u64(m.0);
+        }
+        self.pred.save_state(w);
+        w.write_u64(u64::from(self.spec_bits.0));
+        w.write_u64(u64::from(self.spec_bits.1));
+        w.write_u64(self.resolutions.len() as u64);
+        for res in &self.resolutions {
+            res.save_state(w);
+        }
+        w.write_u64(encode_opt_u8(self.mispredicted_slot));
+        w.write_u64(encode_opt_u8(self.truncated_at));
+        self.attr.save_state(w);
+    }
+
+    /// Decodes an entry written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let pc = r.read_u64("entry pc")?;
+        let phase = match r.read_u64_capped("entry phase", 1)? {
+            0 => EntryPhase::Fetching,
+            _ => EntryPhase::Accepted,
+        };
+        let ghist = HistorySnapshot::load_state(r)?;
+        let lhist_query = r.read_u64("entry lhist query")?;
+        let lhist_old = r.read_u64("entry lhist old")?;
+        let phist = r.read_u64("entry phist")?;
+        let n_metas = r.read_u64_capped("entry meta count", 256)?;
+        let mut metas = Vec::with_capacity(n_metas as usize);
+        for _ in 0..n_metas {
+            metas.push(Meta(r.read_u64("entry meta")?));
+        }
+        let pred = PredictionBundle::load_state(r)?;
+        let spec_bits = (
+            r.read_u64_capped("entry spec bits", 0xff)? as u8,
+            r.read_u64_capped("entry spec count", 8)? as u8,
+        );
+        let n_res = r.read_u64_capped("entry resolution count", MAX_FETCH_WIDTH as u64)?;
+        let mut resolutions = Vec::with_capacity(n_res as usize);
+        for _ in 0..n_res {
+            resolutions.push(SlotResolution::load_state(r)?);
+        }
+        let mispredicted_slot = decode_opt_u8(r, "entry mispredicted slot")?;
+        let truncated_at = decode_opt_u8(r, "entry truncated slot")?;
+        let attr = PacketAttribution::load_state(r)?;
+        Ok(HistoryFileEntry {
+            pc,
+            phase,
+            ghist,
+            lhist_query,
+            lhist_old,
+            phist,
+            metas,
+            pred,
+            spec_bits,
+            resolutions,
+            mispredicted_slot,
+            truncated_at,
+            attr,
+        })
+    }
+}
+
+/// Biased `Option<u8>` codec shared by the entry fields: 0 encodes `None`,
+/// `v + 1` encodes `Some(v)`.
+fn encode_opt_u8(v: Option<u8>) -> u64 {
+    match v {
+        None => 0,
+        Some(s) => u64::from(s) + 1,
+    }
+}
+
+fn decode_opt_u8(r: &mut StateReader<'_>, what: &'static str) -> Result<Option<u8>, SnapError> {
+    match r.read_u64_capped(what, 0x100)? {
+        0 => Ok(None),
+        v => Ok(Some((v - 1) as u8)),
     }
 }
 
@@ -218,6 +313,23 @@ impl HistoryFile {
         self.entries.clear();
         removed.reverse();
         removed
+    }
+
+    /// Serializes the ring of in-flight entries into a checkpoint stream.
+    ///
+    /// Widths are configuration, not state — the receiving history file
+    /// must be built for the same design.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.entries.save_state(w, |w, e| e.save_state(w));
+    }
+
+    /// Restores the ring written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.entries.load_state(r, HistoryFileEntry::load_state)
     }
 
     /// Storage declaration for the area model: the history file is the bulk

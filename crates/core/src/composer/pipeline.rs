@@ -22,6 +22,7 @@ use crate::error::ComposeError;
 use crate::iface::{Component, FireEvent, HistoryView, PredictQuery, Response, UpdateEvent};
 use crate::obs::{PacketAttribution, MAX_TRACKED_COMPONENTS, NO_PROVIDER};
 use crate::types::{Meta, PredictionBundle, SlotPrediction, StorageReport};
+use cobra_sim::{SnapError, StateReader, StateWriter};
 
 /// Maximum supported pipeline depth (response latency of the slowest
 /// component).
@@ -386,6 +387,33 @@ impl PredictorPipeline {
         for (node, &meta) in self.nodes.iter_mut().zip(metas) {
             node.component.update(&UpdateEvent { meta, ..*ev_base });
         }
+    }
+
+    /// Serializes every component's tables into a checkpoint stream, each
+    /// node wrapped in a section named after its topology label so a
+    /// restore into a different pipeline fails loudly.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for node in &self.nodes {
+            w.begin_section(&node.label);
+            node.component.save_state(w);
+            w.end_section();
+        }
+    }
+
+    /// Restores component state written by [`save_state`](Self::save_state)
+    /// into a pipeline compiled from the same topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when a section name does not match this
+    /// pipeline's node order or a component rejects its payload.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        for node in &mut self.nodes {
+            r.open_section(&node.label)?;
+            node.component.load_state(r)?;
+            r.close_section()?;
+        }
+        Ok(())
     }
 
     /// Sanitizer hook: every event broadcast must carry exactly one

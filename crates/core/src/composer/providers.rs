@@ -7,7 +7,10 @@
 //! forwards-walk mechanism).
 
 use crate::types::StorageReport;
-use cobra_sim::{bits, HistoryRegister, HistorySnapshot, PortKind, SramModel};
+use cobra_sim::{
+    bits, HistoryRegister, HistorySnapshot, PortKind, SnapError, Snapshot, SramModel, StateReader,
+    StateWriter,
+};
 
 /// The speculative global-history register.
 ///
@@ -66,6 +69,16 @@ impl GlobalHistoryProvider {
         let mut r = StorageReport::new();
         r.add_flops(self.spec.width() as u64);
         r
+    }
+}
+
+impl Snapshot for GlobalHistoryProvider {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.spec.save_state(w);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.spec.load_state(r)
     }
 }
 
@@ -173,6 +186,26 @@ impl LocalHistoryProvider {
     }
 }
 
+impl Snapshot for LocalHistoryProvider {
+    fn save_state(&self, w: &mut StateWriter) {
+        self.table.save_state(w, |w, &h| w.write_u64(h));
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let mask = bits::mask(self.bits);
+        self.table.load_state(r, |r| {
+            let h = r.read_u64("local history")?;
+            if h & !mask != 0 {
+                return Err(SnapError::BadValue {
+                    what: "local history",
+                    got: h,
+                });
+            }
+            Ok(h)
+        })
+    }
+}
+
 /// The path-history provider — the history-provider variant the paper
 /// notes "can also be implemented" (Section IV-B3, citing Nair's
 /// path-based correlation).
@@ -227,6 +260,24 @@ impl PathHistoryProvider {
         let mut r = StorageReport::new();
         r.add_flops(self.bits as u64);
         r
+    }
+}
+
+impl Snapshot for PathHistoryProvider {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.value);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let v = r.read_u64("path history")?;
+        if v & !bits::mask(self.bits) != 0 {
+            return Err(SnapError::BadValue {
+                what: "path history",
+                got: v,
+            });
+        }
+        self.value = v;
+        Ok(())
     }
 }
 

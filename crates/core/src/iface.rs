@@ -19,7 +19,7 @@
 //!   ([`Component::compose`], Section III-F).
 
 use crate::types::{AccessReport, BranchKind, Meta, PredictionBundle, StorageReport};
-use cobra_sim::HistoryRegister;
+use cobra_sim::{HistoryRegister, SnapError, StateReader, StateWriter};
 
 /// The history vectors available to a component from the end of Fetch-1.
 #[derive(Debug, Clone, Copy)]
@@ -77,6 +77,36 @@ pub struct SlotResolution {
     pub taken: bool,
     /// Its actual target (meaningful when `taken`).
     pub target: u64,
+}
+
+impl SlotResolution {
+    /// Serializes the resolution into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(u64::from(self.slot));
+        w.write_u64(self.kind.code());
+        w.write_bool(self.taken);
+        w.write_u64(self.target);
+    }
+
+    /// Decodes a resolution written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let slot = r.read_u64_capped("resolution slot", 0xff)? as u8;
+        let code = r.read_u64("resolution kind")?;
+        let kind = BranchKind::from_code(code).ok_or(SnapError::BadValue {
+            what: "resolution kind",
+            got: code,
+        })?;
+        Ok(SlotResolution {
+            slot,
+            kind,
+            taken: r.read_bool("resolution taken")?,
+            target: r.read_u64("resolution target")?,
+        })
+    }
 }
 
 /// Payload of the speculative-update (`fire`) and `repair` events.
@@ -345,6 +375,26 @@ pub trait Component {
 
     /// Slow, commit-time update from committing branches.
     fn update(&mut self, _ev: &UpdateEvent<'_>) {}
+
+    /// Serializes the component's *complete* mutable state for a
+    /// warm-state checkpoint (`.cbs`).
+    ///
+    /// Deliberately required, not defaulted: a component that holds any
+    /// state must decide what to save, and a genuinely stateless one
+    /// documents that by writing nothing. The composer frames each
+    /// component's fields in a named section whose field count is
+    /// validated at restore time, so save/load asymmetries fail loudly.
+    fn save_state(&self, w: &mut StateWriter);
+
+    /// Restores state previously written by
+    /// [`save_state`](Self::save_state) into a component constructed with
+    /// the identical configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the stream is malformed or does not fit
+    /// this component's shape; the component must then be discarded.
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError>;
 }
 
 #[cfg(test)]
@@ -376,6 +426,13 @@ mod tests {
                 pred,
                 meta: Meta(7),
             }
+        }
+        fn save_state(&self, w: &mut StateWriter) {
+            w.write_bool(self.taken);
+        }
+        fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+            self.taken = r.read_bool("fixed taken")?;
+            Ok(())
         }
     }
 

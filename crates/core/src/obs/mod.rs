@@ -29,6 +29,7 @@
 pub mod trace;
 
 use crate::types::{BranchKind, PredictionBundle, SlotPrediction, MAX_FETCH_WIDTH};
+use cobra_sim::{SnapError, StateReader, StateWriter};
 use std::collections::BTreeMap;
 
 /// Sentinel provider index: no component provided the field.
@@ -150,6 +151,48 @@ impl PacketAttribution {
             .into_iter()
             .find(|&f| carried(f) && self.provider(slot, f).is_some())
             .unwrap_or(preferred)
+    }
+
+    /// Serializes the attribution into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for arr in [
+            &self.kind_provider,
+            &self.taken_provider,
+            &self.target_provider,
+        ] {
+            for &v in arr {
+                w.write_u64(u64::from(v));
+            }
+        }
+        for arr in [&self.proposed_taken, &self.proposed_target] {
+            for &v in arr {
+                w.write_u64(u64::from(v));
+            }
+        }
+    }
+
+    /// Decodes an attribution written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let mut a = PacketAttribution::EMPTY;
+        for arr in [
+            &mut a.kind_provider,
+            &mut a.taken_provider,
+            &mut a.target_provider,
+        ] {
+            for v in arr.iter_mut() {
+                *v = r.read_u64_capped("attribution provider", 0xff)? as u8;
+            }
+        }
+        for arr in [&mut a.proposed_taken, &mut a.proposed_target] {
+            for v in arr.iter_mut() {
+                *v = r.read_u64_capped("attribution proposal mask", 0xff)? as u8;
+            }
+        }
+        Ok(a)
     }
 }
 
@@ -519,6 +562,72 @@ impl StatsSink {
             lhist_repairs: self.lhist_repairs,
             overrides,
         }
+    }
+
+    /// Serializes the sink's counters for warm-state checkpoints.
+    ///
+    /// The per-PC blame map is observability-only and is *not*
+    /// checkpointed; a restored run starts it empty.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.begin_section("stats");
+        for c in &self.counters {
+            w.write_u64(c.queries);
+            w.write_u64(c.fires);
+            w.write_u64(c.mispredict_events);
+            w.write_u64(c.repairs);
+            w.write_u64(c.updates);
+            w.write_u64(c.provided_final);
+            w.write_u64(c.overridden);
+            w.write_u64(c.direction_blame);
+            w.write_u64(c.target_blame);
+        }
+        for &p in &self.override_pairs {
+            w.write_u64(p);
+        }
+        w.write_u64(self.queries);
+        w.write_u64(self.fires);
+        w.write_u64(self.mispredict_events);
+        w.write_u64(self.repairs);
+        w.write_u64(self.updates);
+        w.write_u64(self.packets_with_prediction);
+        w.write_u64(self.hf_high_water);
+        w.write_u64(self.ghist_snapshot_repairs);
+        w.write_u64(self.lhist_repairs);
+        w.end_section();
+    }
+
+    /// Restores counters written by [`save_state`](Self::save_state) into
+    /// a sink built for the same pipeline (same labels, same row count).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        r.open_section("stats")?;
+        for c in &mut self.counters {
+            c.queries = r.read_u64("row queries")?;
+            c.fires = r.read_u64("row fires")?;
+            c.mispredict_events = r.read_u64("row mispredict events")?;
+            c.repairs = r.read_u64("row repairs")?;
+            c.updates = r.read_u64("row updates")?;
+            c.provided_final = r.read_u64("row provided final")?;
+            c.overridden = r.read_u64("row overridden")?;
+            c.direction_blame = r.read_u64("row direction blame")?;
+            c.target_blame = r.read_u64("row target blame")?;
+        }
+        for p in &mut self.override_pairs {
+            *p = r.read_u64("override pair")?;
+        }
+        self.queries = r.read_u64("queries")?;
+        self.fires = r.read_u64("fires")?;
+        self.mispredict_events = r.read_u64("mispredict events")?;
+        self.repairs = r.read_u64("repairs")?;
+        self.updates = r.read_u64("updates")?;
+        self.packets_with_prediction = r.read_u64("packets with prediction")?;
+        self.hf_high_water = r.read_u64("hf high water")?;
+        self.ghist_snapshot_repairs = r.read_u64("ghist snapshot repairs")?;
+        self.lhist_repairs = r.read_u64("lhist repairs")?;
+        r.close_section()
     }
 }
 

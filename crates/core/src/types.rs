@@ -1,6 +1,6 @@
 //! Common value types of the COBRA predictor interface.
 
-use cobra_sim::SramSpec;
+use cobra_sim::{SnapError, SramSpec, StateReader, StateWriter};
 use std::fmt;
 
 /// Maximum supported fetch-packet width in prediction slots.
@@ -33,6 +33,51 @@ impl BranchKind {
     /// `true` for kinds that always redirect control flow when executed.
     pub fn is_unconditional(self) -> bool {
         !matches!(self, BranchKind::Conditional)
+    }
+
+    /// Stable numeric code used by checkpoint serialization.
+    pub fn code(self) -> u64 {
+        match self {
+            BranchKind::Conditional => 0,
+            BranchKind::Jump => 1,
+            BranchKind::Call => 2,
+            BranchKind::Ret => 3,
+            BranchKind::Indirect => 4,
+        }
+    }
+
+    /// Inverse of [`code`](Self::code).
+    pub fn from_code(code: u64) -> Option<BranchKind> {
+        Some(match code {
+            0 => BranchKind::Conditional,
+            1 => BranchKind::Jump,
+            2 => BranchKind::Call,
+            3 => BranchKind::Ret,
+            4 => BranchKind::Indirect,
+            _ => return None,
+        })
+    }
+
+    /// Encodes an optional kind as one biased code (0 = `None`).
+    pub fn encode_opt(kind: Option<BranchKind>) -> u64 {
+        kind.map_or(0, |k| k.code() + 1)
+    }
+
+    /// Decodes a value written by [`encode_opt`](Self::encode_opt).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapError::BadValue`] for codes outside the kind range.
+    pub fn decode_opt(v: u64) -> Result<Option<BranchKind>, SnapError> {
+        if v == 0 {
+            return Ok(None);
+        }
+        BranchKind::from_code(v - 1)
+            .map(Some)
+            .ok_or(SnapError::BadValue {
+                what: "branch kind",
+                got: v,
+            })
     }
 }
 
@@ -94,6 +139,39 @@ impl SlotPrediction {
             Some(_) => true,
             None => false,
         }
+    }
+
+    /// Serializes the slot's fields into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(BranchKind::encode_opt(self.kind));
+        w.write_u64(match self.taken {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        w.write_bool(self.target.is_some());
+        w.write_u64(self.target.unwrap_or(0));
+    }
+
+    /// Decodes a slot written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let kind = BranchKind::decode_opt(r.read_u64("slot kind")?)?;
+        let taken = match r.read_u64_capped("slot taken", 2)? {
+            0 => None,
+            1 => Some(false),
+            _ => Some(true),
+        };
+        let has_target = r.read_bool("slot has target")?;
+        let target = r.read_u64("slot target")?;
+        Ok(Self {
+            kind,
+            taken,
+            target: has_target.then_some(target),
+        })
     }
 }
 
@@ -225,6 +303,35 @@ impl PredictionBundle {
             Some((_, target)) => target,
             None => (pc & !(fetch_bytes - 1)) + fetch_bytes,
         }
+    }
+
+    /// Serializes the bundle (width plus every live slot).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(u64::from(self.width));
+        for s in self.iter() {
+            s.save_state(w);
+        }
+    }
+
+    /// Decodes a bundle written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input or an out-of-range
+    /// width.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let width = r.read_u64("bundle width")?;
+        if !(1..=MAX_FETCH_WIDTH as u64).contains(&width) {
+            return Err(SnapError::BadValue {
+                what: "bundle width",
+                got: width,
+            });
+        }
+        let mut b = PredictionBundle::new(width as u8);
+        for i in 0..width as usize {
+            *b.slot_mut(i) = SlotPrediction::load_state(r)?;
+        }
+        Ok(b)
     }
 }
 

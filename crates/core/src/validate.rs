@@ -262,6 +262,13 @@ mod tests {
                 meta: Meta(0xdead_beef),
             }
         }
+        fn save_state(&self, _w: &mut cobra_sim::StateWriter) {}
+        fn load_state(
+            &mut self,
+            _r: &mut cobra_sim::StateReader<'_>,
+        ) -> Result<(), cobra_sim::SnapError> {
+            Ok(())
+        }
     }
 
     #[test]
@@ -297,6 +304,13 @@ mod tests {
             _inputs: &[PredictionBundle],
         ) -> PredictionBundle {
             PredictionBundle::new(width)
+        }
+        fn save_state(&self, _w: &mut cobra_sim::StateWriter) {}
+        fn load_state(
+            &mut self,
+            _r: &mut cobra_sim::StateReader<'_>,
+        ) -> Result<(), cobra_sim::SnapError> {
+            Ok(())
         }
     }
 

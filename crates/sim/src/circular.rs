@@ -9,6 +9,8 @@
 //! random access by token while the entry is live, in-order pop-front, and
 //! bulk truncation of the youngest entries (squash).
 
+use crate::snapshot::{SnapError, StateReader, StateWriter};
+
 /// A bounded ring buffer whose entries are addressed by monotonically
 /// increasing tokens.
 ///
@@ -174,6 +176,55 @@ impl<T> CircularBuffer<T> {
     /// Token range `[head, tail)` of live entries.
     pub fn live_tokens(&self) -> std::ops::Range<u64> {
         self.head..self.tail
+    }
+
+    /// Serializes the token window and every live entry (oldest first,
+    /// encoded by `item`) for warm-state checkpoints. Restoring preserves
+    /// token values exactly, including past wraparound.
+    pub fn save_state(&self, w: &mut StateWriter, mut item: impl FnMut(&mut StateWriter, &T)) {
+        w.begin_section("ring");
+        w.write_u64(self.head);
+        w.write_u64(self.tail);
+        for (_, v) in self.iter() {
+            item(w, v);
+        }
+        w.end_section();
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// buffer of the same capacity, decoding each live entry with `item`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the stream is malformed or the saved
+    /// window exceeds this buffer's capacity.
+    pub fn load_state(
+        &mut self,
+        r: &mut StateReader<'_>,
+        mut item: impl FnMut(&mut StateReader<'_>) -> Result<T, SnapError>,
+    ) -> Result<(), SnapError> {
+        r.open_section("ring")?;
+        let head = r.read_u64("ring head")?;
+        let tail = r.read_u64("ring tail")?;
+        if tail < head || tail - head > self.capacity() as u64 {
+            return Err(SnapError::Shape {
+                detail: format!(
+                    "ring window [{head}, {tail}) does not fit capacity {}",
+                    self.capacity()
+                ),
+            });
+        }
+        for slot in &mut self.slots {
+            *slot = None;
+        }
+        self.head = head;
+        self.tail = tail;
+        for t in head..tail {
+            let v = item(r)?;
+            let slot = self.slot_of(t);
+            self.slots[slot] = Some(v);
+        }
+        r.close_section()
     }
 }
 

@@ -1,5 +1,7 @@
 //! Wide speculative history registers with snapshot repair.
 
+use crate::snapshot::{SnapError, Snapshot, StateReader, StateWriter};
+
 /// An opaque saved copy of a [`HistoryRegister`], taken at predict time and
 /// restored on misprediction.
 ///
@@ -15,6 +17,32 @@ impl HistorySnapshot {
     /// Number of stored bits (the register width the snapshot came from).
     pub fn bit_len(&self) -> u32 {
         (self.words.len() * 64) as u32
+    }
+
+    /// Serializes the snapshot's words into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.words.len() as u64);
+        for &word in self.words.iter() {
+            w.write_u64(word);
+        }
+    }
+
+    /// Decodes a snapshot previously written by
+    /// [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input or an implausible word
+    /// count.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let nwords = r.read_u64_capped("history snapshot words", 1 << 16)? as usize;
+        let mut words = Vec::with_capacity(nwords);
+        for _ in 0..nwords {
+            words.push(r.read_u64("history snapshot word")?);
+        }
+        Ok(Self {
+            words: words.into_boxed_slice(),
+        })
     }
 }
 
@@ -169,6 +197,29 @@ impl HistoryRegister {
     /// Clears the register to all zeros.
     pub fn clear(&mut self) {
         self.words.fill(0);
+    }
+}
+
+impl Snapshot for HistoryRegister {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(u64::from(self.width));
+        for &word in &self.words {
+            w.write_u64(word);
+        }
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        let width = r.read_u64("history register width")?;
+        if width != u64::from(self.width) {
+            return Err(SnapError::Shape {
+                detail: format!("history register width {} != saved {width}", self.width),
+            });
+        }
+        for word in &mut self.words {
+            *word = r.read_u64("history register word")?;
+        }
+        self.mask_top();
+        Ok(())
     }
 }
 

@@ -28,6 +28,9 @@
 //! * [`varint`] — LEB128/ZigZag integer coding and [`Crc32c`] checksums,
 //!   the serialization primitives under the COBRA Binary Trace format
 //!   (`cobra_workloads::cbt`).
+//! * [`Snapshot`] with [`StateWriter`]/[`StateReader`] — structured
+//!   full-state serialization for warm-state checkpoints (the COBRA
+//!   Binary Snapshot format, `cobra_uarch::checkpoint`).
 //!
 //! Everything in this crate is deterministic and allocation-light; the
 //! simulator's hot loops run over these types.
@@ -44,6 +47,7 @@ mod folded;
 mod history;
 mod rng;
 mod slab;
+mod snapshot;
 mod sram;
 pub mod varint;
 
@@ -55,4 +59,5 @@ pub use folded::FoldedHistory;
 pub use history::{HistoryRegister, HistorySnapshot};
 pub use rng::SplitMix64;
 pub use slab::TokenSlab;
+pub use snapshot::{SnapError, Snapshot, StateReader, StateWriter};
 pub use sram::{PortKind, PortViolation, SramModel, SramSpec};

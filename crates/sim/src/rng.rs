@@ -1,5 +1,7 @@
 //! A tiny deterministic RNG.
 
+use crate::snapshot::{SnapError, Snapshot, StateReader, StateWriter};
+
 /// SplitMix64: a fast, high-quality 64-bit PRNG with a single `u64` of
 /// state.
 ///
@@ -53,6 +55,17 @@ impl SplitMix64 {
     pub fn chance(&mut self, p: f64) -> bool {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
         (self.next_u64() as f64 / u64::MAX as f64) < p
+    }
+}
+
+impl Snapshot for SplitMix64 {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.state);
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.state = r.read_u64("rng state")?;
+        Ok(())
     }
 }
 

@@ -8,6 +8,7 @@
 //! and exceeding the port budget is reported as a [`PortViolation`] — the
 //! simulation-time analogue of a macro that will not map in synthesis.
 
+use crate::snapshot::{SnapError, StateReader, StateWriter};
 use std::fmt;
 
 /// The port discipline of an SRAM macro.
@@ -282,6 +283,73 @@ impl<T: Clone> SramModel<T> {
     /// Always false: the constructor rejects empty SRAMs.
     pub fn is_empty(&self) -> bool {
         false
+    }
+
+    /// Serializes the complete model state — accounting epoch, lifetime
+    /// access counts, recorded violations, and every data cell (encoded by
+    /// `cell`) — for warm-state checkpoints. The geometry itself is not
+    /// stored: a snapshot only restores into a model of identical shape,
+    /// which the caller guarantees by construction.
+    pub fn save_state(&self, w: &mut StateWriter, mut cell: impl FnMut(&mut StateWriter, &T)) {
+        w.begin_section("sram");
+        w.write_u64(self.cycle);
+        for &r in &self.reads_this_cycle {
+            w.write_u64(u64::from(r));
+        }
+        for &wr in &self.writes_this_cycle {
+            w.write_u64(u64::from(wr));
+        }
+        w.write_u64(self.total_reads);
+        w.write_u64(self.total_writes);
+        w.write_u64(self.violations.len() as u64);
+        for v in &self.violations {
+            w.write_u64(v.cycle);
+            w.write_u64(v.bank);
+            w.write_u64(u64::from(v.reads));
+            w.write_u64(u64::from(v.writes));
+        }
+        for d in &self.data {
+            cell(w, d);
+        }
+        w.end_section();
+    }
+
+    /// Restores state saved by [`save_state`](Self::save_state) into a
+    /// model of identical geometry, decoding each data cell with `cell`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input; the model must then be
+    /// discarded.
+    pub fn load_state(
+        &mut self,
+        r: &mut StateReader<'_>,
+        mut cell: impl FnMut(&mut StateReader<'_>) -> Result<T, SnapError>,
+    ) -> Result<(), SnapError> {
+        r.open_section("sram")?;
+        self.cycle = r.read_u64("sram cycle")?;
+        for x in &mut self.reads_this_cycle {
+            *x = r.read_u64_capped("sram bank reads", u64::from(u32::MAX))? as u32;
+        }
+        for x in &mut self.writes_this_cycle {
+            *x = r.read_u64_capped("sram bank writes", u64::from(u32::MAX))? as u32;
+        }
+        self.total_reads = r.read_u64("sram total reads")?;
+        self.total_writes = r.read_u64("sram total writes")?;
+        let nviol = r.read_u64_capped("sram violation count", 1 << 20)? as usize;
+        self.violations.clear();
+        for _ in 0..nviol {
+            self.violations.push(PortViolation {
+                cycle: r.read_u64("violation cycle")?,
+                bank: r.read_u64("violation bank")?,
+                reads: r.read_u64_capped("violation reads", u64::from(u32::MAX))? as u32,
+                writes: r.read_u64_capped("violation writes", u64::from(u32::MAX))? as u32,
+            });
+        }
+        for d in &mut self.data {
+            *d = cell(r)?;
+        }
+        r.close_section()
     }
 }
 

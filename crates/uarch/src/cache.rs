@@ -7,7 +7,7 @@
 //! updates recency state.
 
 use crate::config::CacheConfig;
-use cobra_sim::bits;
+use cobra_sim::{bits, SnapError, StateReader, StateWriter};
 
 /// One set-associative cache level.
 #[derive(Debug, Clone)]
@@ -101,6 +101,42 @@ impl Cache {
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
     }
+
+    /// Serializes tag, recency, and counter state into a checkpoint
+    /// stream. Geometry is configuration and is not stored.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.begin_section("cache");
+        w.write_u64(u64::from(self.clock));
+        w.write_u64(self.hits);
+        w.write_u64(self.misses);
+        for &t in &self.tags {
+            w.write_u64(t);
+        }
+        for &rc in &self.recency {
+            w.write_u64(u64::from(rc));
+        }
+        w.end_section();
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// cache of the same geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        r.open_section("cache")?;
+        self.clock = r.read_u64_capped("cache clock", u64::from(u32::MAX))? as u32;
+        self.hits = r.read_u64("cache hits")?;
+        self.misses = r.read_u64("cache misses")?;
+        for t in &mut self.tags {
+            *t = r.read_u64("cache tag")?;
+        }
+        for rc in &mut self.recency {
+            *rc = r.read_u64_capped("cache recency", u64::from(u32::MAX))? as u32;
+        }
+        r.close_section()
+    }
 }
 
 /// The full hierarchy: split L1s over a shared L2/L3 and DRAM.
@@ -162,6 +198,26 @@ impl MemoryHierarchy {
         } else {
             self.l1d.hit_latency() + self.below_l1(addr)
         }
+    }
+
+    /// Serializes every level of the hierarchy into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l2.save_state(w);
+        self.l3.save_state(w);
+    }
+
+    /// Restores a hierarchy written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.l1i.load_state(r)?;
+        self.l1d.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.l3.load_state(r)
     }
 }
 

@@ -1,0 +1,757 @@
+//! The COBRA Binary Snapshot (CBS) format — warm-state checkpoints of a
+//! composed pipeline plus its host core.
+//!
+//! A `.cbs` file is a versioned, self-contained serialization of a
+//! [`Core`] at an instruction boundary: every predictor sub-component's
+//! tables, the history file with its in-flight packets, the speculative
+//! history providers, the RAS, the cache hierarchy, and the workload
+//! cursor. Restoring it into a freshly-built core of the same design,
+//! configuration, and workload puts the machine in *exactly* the state
+//! the straight-through run had at that boundary, so a
+//! warmup-once/measure-many grid run produces a
+//! [`PerfReport`](crate::PerfReport) byte-identical to the run that never
+//! checkpointed.
+//!
+//! The file is identity-checked before any state is decoded: the header
+//! names the design, topology, configuration hash, workload, and warmup
+//! boundary, and [`restore_checkpoint`] refuses a file whose identity
+//! does not match the core it is asked to fill. The normative
+//! specification, including a worked hex example, is in
+//! [`docs/CHECKPOINT_FORMAT.md`] at the repository root; this module is
+//! the reference implementation.
+//!
+//! [`docs/CHECKPOINT_FORMAT.md`]: https://github.com/cobra-bp/cobra-rs/blob/main/docs/CHECKPOINT_FORMAT.md
+//!
+//! Fixed-width integers are little-endian; variable-length values use
+//! LEB128 ([`cobra_sim::varint`]). The header and the state payload are
+//! independently protected by CRC-32C, and every declared length is
+//! checked against a hard cap before allocation, mirroring the `.cbt`
+//! trace container's hostile-input discipline.
+
+use crate::core::Core;
+use crate::program::InstructionStream;
+use crate::CoreConfig;
+use cobra_core::composer::Design;
+use cobra_sim::{varint, SnapError, StateReader, StateWriter};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// File magic, the first 8 bytes of every `.cbs` file.
+pub const MAGIC: [u8; 8] = *b"COBRACBS";
+/// Trailing footer magic, the last 4 bytes of every `.cbs` file.
+pub const FOOTER_MAGIC: [u8; 4] = *b"CBSX";
+/// The (only) format version this implementation reads and writes.
+pub const VERSION: u16 = 1;
+/// Reader guard: maximum accepted state-payload size.
+pub const MAX_PAYLOAD_BYTES: u64 = 1 << 26;
+/// Reader guard: maximum accepted length for any header string.
+pub const MAX_NAME_BYTES: u64 = 4096;
+
+/// Everything that can go wrong reading or writing a `.cbs` file. Decode
+/// errors are precise: they name the structure or identity field at
+/// fault, so a stale or corrupted checkpoint is diagnosable — and is
+/// never silently restored into the wrong experiment.
+#[derive(Debug)]
+pub enum CbsError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file does not end with [`FOOTER_MAGIC`].
+    BadFooterMagic,
+    /// The file's version is not supported by this implementation.
+    UnsupportedVersion(u16),
+    /// The header flags word has bits this implementation does not know.
+    UnsupportedFlags(u16),
+    /// The file ended while reading the named structure.
+    Truncated {
+        /// Which structure was being read.
+        what: &'static str,
+    },
+    /// A declared size exceeds the format's hard limits — either corrupt
+    /// or hostile; never allocated.
+    LimitExceeded {
+        /// Which declared quantity is over limit.
+        what: &'static str,
+        /// The declared value.
+        got: u64,
+        /// The maximum this reader accepts.
+        max: u64,
+    },
+    /// The header CRC-32C does not match the header bytes.
+    HeaderChecksum {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes read.
+        computed: u32,
+    },
+    /// The state payload's CRC-32C does not match its bytes.
+    PayloadChecksum {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes read.
+        computed: u32,
+    },
+    /// A varint field is truncated or over-long.
+    BadVarint {
+        /// Which structure was being read.
+        what: &'static str,
+    },
+    /// A header string is not valid UTF-8.
+    BadName,
+    /// Bytes remain after the footer magic.
+    TrailingBytes {
+        /// How many bytes follow the footer.
+        count: u64,
+    },
+    /// The checkpoint was captured under a different design name.
+    DesignMismatch {
+        /// Design name stored in the file.
+        stored: String,
+        /// Design name of the core being restored.
+        expected: String,
+    },
+    /// The checkpoint was captured under a different topology string.
+    TopologyMismatch {
+        /// Topology stored in the file.
+        stored: String,
+        /// Topology of the core being restored.
+        expected: String,
+    },
+    /// The checkpoint was captured under a different core/predictor
+    /// configuration (see [`config_hash`]).
+    ConfigHashMismatch {
+        /// Configuration hash stored in the file.
+        stored: u64,
+        /// Configuration hash of the core being restored.
+        expected: u64,
+    },
+    /// The checkpoint was captured running a different workload.
+    WorkloadMismatch {
+        /// Workload name stored in the file.
+        stored: String,
+        /// Workload of the run being restored.
+        expected: String,
+    },
+    /// The checkpoint was captured at a different warmup boundary.
+    WarmupMismatch {
+        /// Warmup instruction count stored in the file.
+        stored: u64,
+        /// Warmup instruction count the restoring run expects.
+        expected: u64,
+    },
+    /// The state payload failed to decode into the core.
+    State(SnapError),
+}
+
+impl fmt::Display for CbsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic => write!(f, "not a CBS file (bad magic; expected `COBRACBS`)"),
+            Self::BadFooterMagic => {
+                write!(f, "bad footer magic (file truncated or not finalized)")
+            }
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported CBS version {v} (this reader supports {VERSION})"
+                )
+            }
+            Self::UnsupportedFlags(bits) => {
+                write!(
+                    f,
+                    "unsupported header flags {bits:#06x} (reserved bits set)"
+                )
+            }
+            Self::Truncated { what } => write!(f, "file truncated while reading {what}"),
+            Self::LimitExceeded { what, got, max } => {
+                write!(f, "{what} = {got} exceeds the format limit of {max}")
+            }
+            Self::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::PayloadChecksum { stored, computed } => write!(
+                f,
+                "state-payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::BadVarint { what } => write!(f, "truncated or over-long varint in {what}"),
+            Self::BadName => write!(f, "header string is not valid UTF-8"),
+            Self::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the footer magic")
+            }
+            Self::DesignMismatch { stored, expected } => {
+                write!(f, "checkpoint is for design `{stored}`, not `{expected}`")
+            }
+            Self::TopologyMismatch { stored, expected } => {
+                write!(f, "checkpoint is for topology `{stored}`, not `{expected}`")
+            }
+            Self::ConfigHashMismatch { stored, expected } => write!(
+                f,
+                "checkpoint configuration hash {stored:#018x} does not match {expected:#018x}"
+            ),
+            Self::WorkloadMismatch { stored, expected } => {
+                write!(f, "checkpoint is for workload `{stored}`, not `{expected}`")
+            }
+            Self::WarmupMismatch { stored, expected } => write!(
+                f,
+                "checkpoint was taken at {stored} warmup instructions, not {expected}"
+            ),
+            Self::State(e) => write!(f, "state payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CbsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CbsError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<SnapError> for CbsError {
+    fn from(e: SnapError) -> Self {
+        Self::State(e)
+    }
+}
+
+/// The identity a checkpoint is bound to: which design, configuration,
+/// and workload produced it, and at what warmup boundary.
+///
+/// [`restore_checkpoint`] compares every field against the file header
+/// and refuses on any mismatch — a checkpoint can only ever shortcut the
+/// exact run that would have produced the same warm state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CbsMeta {
+    /// Design name (e.g. `"TAGE-L"`).
+    pub design: String,
+    /// Topology string in the paper's notation.
+    pub topology: String,
+    /// FNV-1a hash over the full design + core configuration (see
+    /// [`config_hash`]).
+    pub config_hash: u64,
+    /// Workload name the checkpoint was captured running.
+    pub workload: String,
+    /// Instruction count at which the checkpoint was taken (the warmup
+    /// boundary).
+    pub warmup_insts: u64,
+}
+
+impl CbsMeta {
+    /// Builds the identity record for a run of `design` under `cfg` on
+    /// `workload`, checkpointed at `warmup_insts`.
+    pub fn for_run(design: &Design, cfg: &CoreConfig, workload: &str, warmup_insts: u64) -> Self {
+        Self {
+            design: design.name.clone(),
+            topology: design.topology.clone(),
+            config_hash: config_hash(design, cfg),
+            workload: workload.to_string(),
+            warmup_insts,
+        }
+    }
+}
+
+/// FNV-1a 64-bit hash over everything that shapes simulated state: the
+/// design's name, topology, and history-provider parameters, and the
+/// full core configuration (caches, widths, latencies, predictor
+/// management knobs) via their `Debug` renderings.
+///
+/// Any configuration change — even one that does not alter table
+/// geometry — changes the hash, so a stale checkpoint is rejected
+/// instead of silently skewing results.
+pub fn config_hash(design: &Design, cfg: &CoreConfig) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        // Field separator, so concatenations cannot collide.
+        h ^= 0xff;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    };
+    eat(design.name.as_bytes());
+    eat(design.topology.as_bytes());
+    eat(&design.ghist_bits.to_le_bytes());
+    eat(&design.lhist_entries.to_le_bytes());
+    eat(format!("{cfg:?}").as_bytes());
+    h
+}
+
+/// Serializes `core` (full predictor + host-core state) into `w` as a
+/// `.cbs` file bound to `meta`, and returns the bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer.
+pub fn save_checkpoint<W: Write, S: InstructionStream>(
+    mut w: W,
+    meta: &CbsMeta,
+    core: &Core<S>,
+) -> Result<u64, CbsError> {
+    let mut header = Vec::with_capacity(64);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes()); // flags
+    write_str(&mut header, &meta.design);
+    write_str(&mut header, &meta.topology);
+    header.extend_from_slice(&meta.config_hash.to_le_bytes());
+    write_str(&mut header, &meta.workload);
+    varint::write_u64(&mut header, meta.warmup_insts);
+    let header_crc = cobra_sim::crc32c(&header);
+
+    let mut sw = StateWriter::new();
+    core.save_state(&mut sw);
+    let payload = sw.finish();
+    let payload_len = payload.len() as u32;
+    let mut crc = cobra_sim::Crc32c::new();
+    crc.update(&payload_len.to_le_bytes());
+    crc.update(&payload);
+    let payload_crc = crc.finish();
+
+    w.write_all(&header)?;
+    w.write_all(&header_crc.to_le_bytes())?;
+    w.write_all(&payload_len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&payload_crc.to_le_bytes())?;
+    w.write_all(&FOOTER_MAGIC)?;
+    w.flush()?;
+    Ok(header.len() as u64 + 4 + 4 + u64::from(payload_len) + 4 + 4)
+}
+
+/// Parses and checksums a `.cbs` header, returning the identity record
+/// without touching the state payload — what `cobra-checkpoint --list`
+/// shows.
+///
+/// # Errors
+///
+/// Any [`CbsError`] describing the first malformed header structure.
+pub fn read_meta<R: Read>(mut r: R) -> Result<CbsMeta, CbsError> {
+    read_header(&mut r)
+}
+
+/// Restores a `.cbs` file into `core`, which must be freshly built from
+/// the same design, configuration, and workload the checkpoint names.
+/// The whole file is validated — header and payload checksums, identity
+/// fields against `expected`, exact payload shape, no trailing bytes —
+/// before returning.
+///
+/// On success the core stands exactly where the capturing run stood at
+/// `expected.warmup_insts` committed instructions; calling
+/// [`Core::run_with_warmup`] then reproduces the straight-through run's
+/// measurement byte-for-byte (the warmup loop is a no-op because the
+/// restored core has already committed past the boundary).
+///
+/// # Errors
+///
+/// Any [`CbsError`]. If the error is [`CbsError::State`], the core may
+/// be partially overwritten and must be discarded; identity and checksum
+/// errors are detected before any state is written.
+pub fn restore_checkpoint<R: Read, S: InstructionStream>(
+    mut r: R,
+    expected: &CbsMeta,
+    core: &mut Core<S>,
+) -> Result<(), CbsError> {
+    let meta = read_header(&mut r)?;
+    if meta.design != expected.design {
+        return Err(CbsError::DesignMismatch {
+            stored: meta.design,
+            expected: expected.design.clone(),
+        });
+    }
+    if meta.topology != expected.topology {
+        return Err(CbsError::TopologyMismatch {
+            stored: meta.topology,
+            expected: expected.topology.clone(),
+        });
+    }
+    if meta.config_hash != expected.config_hash {
+        return Err(CbsError::ConfigHashMismatch {
+            stored: meta.config_hash,
+            expected: expected.config_hash,
+        });
+    }
+    if meta.workload != expected.workload {
+        return Err(CbsError::WorkloadMismatch {
+            stored: meta.workload,
+            expected: expected.workload.clone(),
+        });
+    }
+    if meta.warmup_insts != expected.warmup_insts {
+        return Err(CbsError::WarmupMismatch {
+            stored: meta.warmup_insts,
+            expected: expected.warmup_insts,
+        });
+    }
+
+    let payload_len = u64::from(read_u32(&mut r, "payload length")?);
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(CbsError::LimitExceeded {
+            what: "state-payload length",
+            got: payload_len,
+            max: MAX_PAYLOAD_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    read_exact(&mut r, &mut payload, "state payload")?;
+    let stored = read_u32(&mut r, "payload checksum")?;
+    let mut crc = cobra_sim::Crc32c::new();
+    crc.update(&(payload_len as u32).to_le_bytes());
+    crc.update(&payload);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(CbsError::PayloadChecksum { stored, computed });
+    }
+    let mut footer = [0u8; 4];
+    read_exact(&mut r, &mut footer, "footer magic")?;
+    if footer != FOOTER_MAGIC {
+        return Err(CbsError::BadFooterMagic);
+    }
+    let mut rest = [0u8; 64];
+    let mut trailing = 0u64;
+    loop {
+        let n = r.read(&mut rest)?;
+        if n == 0 {
+            break;
+        }
+        trailing += n as u64;
+    }
+    if trailing != 0 {
+        return Err(CbsError::TrailingBytes { count: trailing });
+    }
+
+    let mut sr = StateReader::new(&payload);
+    core.load_state(&mut sr)?;
+    sr.finish()?;
+    Ok(())
+}
+
+/// Reads and checksums the header, returning the identity record.
+fn read_header<R: Read>(r: &mut R) -> Result<CbsMeta, CbsError> {
+    let mut fixed = [0u8; 12];
+    read_exact(r, &mut fixed, "header")?;
+    if fixed[..8] != MAGIC {
+        return Err(CbsError::BadMagic);
+    }
+    let version = u16::from_le_bytes([fixed[8], fixed[9]]);
+    if version != VERSION {
+        return Err(CbsError::UnsupportedVersion(version));
+    }
+    let flags = u16::from_le_bytes([fixed[10], fixed[11]]);
+    if flags != 0 {
+        return Err(CbsError::UnsupportedFlags(flags));
+    }
+    let mut raw = fixed.to_vec();
+    let design = read_str(r, &mut raw, "header design name")?;
+    let topology = read_str(r, &mut raw, "header topology")?;
+    let mut hash_bytes = [0u8; 8];
+    read_exact(r, &mut hash_bytes, "header config hash")?;
+    raw.extend_from_slice(&hash_bytes);
+    let config_hash = u64::from_le_bytes(hash_bytes);
+    let workload = read_str(r, &mut raw, "header workload name")?;
+    let warmup_insts = read_varint_stream(r, &mut raw, "header warmup boundary")?;
+    let stored = read_u32(r, "header checksum")?;
+    let computed = cobra_sim::crc32c(&raw);
+    if stored != computed {
+        return Err(CbsError::HeaderChecksum { stored, computed });
+    }
+    Ok(CbsMeta {
+        design,
+        topology,
+        config_hash,
+        workload,
+        warmup_insts,
+    })
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    varint::write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str<R: Read>(r: &mut R, raw: &mut Vec<u8>, what: &'static str) -> Result<String, CbsError> {
+    let len = read_varint_stream(r, raw, what)?;
+    if len > MAX_NAME_BYTES {
+        return Err(CbsError::LimitExceeded {
+            what,
+            got: len,
+            max: MAX_NAME_BYTES,
+        });
+    }
+    let mut buf = vec![0u8; len as usize];
+    read_exact(r, &mut buf, what)?;
+    raw.extend_from_slice(&buf);
+    String::from_utf8(buf).map_err(|_| CbsError::BadName)
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &'static str) -> Result<(), CbsError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CbsError::Truncated { what }
+        } else {
+            CbsError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &'static str) -> Result<u32, CbsError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, what)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+/// Reads a varint byte-by-byte from a stream, appending the raw bytes to
+/// `raw` (for checksumming).
+fn read_varint_stream<R: Read>(
+    r: &mut R,
+    raw: &mut Vec<u8>,
+    what: &'static str,
+) -> Result<u64, CbsError> {
+    let start = raw.len();
+    for _ in 0..varint::MAX_VARINT_LEN {
+        let mut b = [0u8; 1];
+        read_exact(r, &mut b, what)?;
+        raw.push(b[0]);
+        if b[0] & 0x80 == 0 {
+            let mut pos = 0;
+            return varint::read_u64(&raw[start..], &mut pos).ok_or(CbsError::BadVarint { what });
+        }
+    }
+    Err(CbsError::BadVarint { what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{CfiOutcome, DynInst, IterStream, Op, StaticInst};
+    use crate::CoreConfig;
+    use cobra_core::{designs, BranchKind};
+
+    /// A deterministic branchy loop: 15 straight-line parcels, a
+    /// data-dependent conditional (taken 3 of every 4 trips), and a
+    /// backwards jump.
+    fn branchy(n: u64) -> IterStream<impl Iterator<Item = DynInst>> {
+        IterStream::new(
+            0x1000,
+            (0..n).map(|i| {
+                let slot = i % 16;
+                let pc = 0x1000 + slot * 2;
+                match slot {
+                    7 => DynInst {
+                        pc,
+                        op: Op::Load {
+                            addr: 0x10_0000 + (i / 16) % 4096 * 64,
+                        },
+                        cfi: None,
+                        dep: 0,
+                    },
+                    11 => DynInst {
+                        pc,
+                        op: Op::Cfi,
+                        cfi: Some(CfiOutcome {
+                            kind: BranchKind::Conditional,
+                            taken: (i / 16) % 4 != 3,
+                            target: 0x1000 + 13 * 2,
+                            sfb: false,
+                        }),
+                        dep: 1,
+                    },
+                    15 => DynInst {
+                        pc,
+                        op: Op::Cfi,
+                        cfi: Some(CfiOutcome {
+                            kind: BranchKind::Jump,
+                            taken: true,
+                            target: 0x1000,
+                            sfb: false,
+                        }),
+                        dep: 0,
+                    },
+                    _ => DynInst::int(pc),
+                }
+            }),
+        )
+    }
+
+    fn fresh_core(cfg: CoreConfig) -> Core<IterStream<impl Iterator<Item = DynInst>>> {
+        Core::new(&designs::b2(), cfg, branchy(200_000)).expect("composes")
+    }
+
+    fn meta(cfg: &CoreConfig, warmup: u64) -> CbsMeta {
+        CbsMeta::for_run(&designs::b2(), cfg, "branchy", warmup)
+    }
+
+    fn capture(cfg: CoreConfig, warmup: u64) -> Vec<u8> {
+        let mut core = fresh_core(cfg);
+        core.run(warmup, "branchy");
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &meta(&cfg, warmup), &core).unwrap();
+        buf
+    }
+
+    /// A Table II shape with toy caches, so the exhaustive per-byte
+    /// hostile-input sweeps stay fast (the serialized hierarchy is the
+    /// bulk of a real checkpoint).
+    fn tiny_cfg() -> CoreConfig {
+        let base = CoreConfig::boom_4wide();
+        let shrink = |mut c: crate::CacheConfig| {
+            c.size_bytes = c.ways * c.line_bytes * 4; // four sets
+            c
+        };
+        CoreConfig {
+            l1i: shrink(base.l1i),
+            l1d: shrink(base.l1d),
+            l2: shrink(base.l2),
+            l3: shrink(base.l3),
+            ..base
+        }
+    }
+
+    #[test]
+    fn restored_run_is_byte_identical() {
+        const WARMUP: u64 = 8_000;
+        const MEASURE: u64 = 20_000;
+        let cfg = CoreConfig::boom_4wide();
+        // Straight-through run.
+        let mut direct = fresh_core(cfg);
+        let baseline = direct.run_with_warmup(WARMUP, MEASURE, "branchy");
+        // Checkpointed run: warm up, snapshot, restore into a fresh core,
+        // then measure.
+        let bytes = capture(cfg, WARMUP);
+        let mut restored = fresh_core(cfg);
+        restore_checkpoint(&bytes[..], &meta(&cfg, WARMUP), &mut restored).unwrap();
+        let replayed = restored.run_with_warmup(WARMUP, MEASURE, "branchy");
+        assert_eq!(baseline, replayed);
+    }
+
+    #[test]
+    fn meta_round_trips() {
+        let cfg = tiny_cfg();
+        let bytes = capture(cfg, 2_000);
+        let m = read_meta(&bytes[..]).unwrap();
+        assert_eq!(m, meta(&cfg, 2_000));
+    }
+
+    #[test]
+    fn identity_mismatches_are_precise() {
+        let cfg = tiny_cfg();
+        let bytes = capture(cfg, 2_000);
+        let mut core = fresh_core(cfg);
+        let mut m = meta(&cfg, 2_000);
+        m.design = "TAGE-L".into();
+        assert!(matches!(
+            restore_checkpoint(&bytes[..], &m, &mut core),
+            Err(CbsError::DesignMismatch { .. })
+        ));
+        let mut m = meta(&cfg, 2_000);
+        m.topology = "BIM2".into();
+        assert!(matches!(
+            restore_checkpoint(&bytes[..], &m, &mut core),
+            Err(CbsError::TopologyMismatch { .. })
+        ));
+        let mut m = meta(&cfg, 2_000);
+        m.config_hash ^= 1;
+        assert!(matches!(
+            restore_checkpoint(&bytes[..], &m, &mut core),
+            Err(CbsError::ConfigHashMismatch { .. })
+        ));
+        let mut m = meta(&cfg, 2_000);
+        m.workload = "other".into();
+        assert!(matches!(
+            restore_checkpoint(&bytes[..], &m, &mut core),
+            Err(CbsError::WorkloadMismatch { .. })
+        ));
+        let mut m = meta(&cfg, 2_000);
+        m.warmup_insts += 1;
+        assert!(matches!(
+            restore_checkpoint(&bytes[..], &m, &mut core),
+            Err(CbsError::WarmupMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn config_hash_sees_every_knob() {
+        let base = config_hash(&designs::b2(), &CoreConfig::boom_4wide());
+        let mut cfg = CoreConfig::boom_4wide();
+        cfg.dram_latency += 1;
+        assert_ne!(base, config_hash(&designs::b2(), &cfg));
+        assert_ne!(
+            base,
+            config_hash(&designs::tage_l(), &CoreConfig::boom_4wide())
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let cfg = tiny_cfg();
+        let bytes = capture(cfg, 1_000);
+        let expected = meta(&cfg, 1_000);
+        // The scratch core may be partially written by a failed restore;
+        // detection never depends on its contents, so one core serves
+        // every cut.
+        let mut core = fresh_core(cfg);
+        for cut in 0..bytes.len() {
+            assert!(
+                restore_checkpoint(&bytes[..cut], &expected, &mut core).is_err(),
+                "truncation at {cut}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let cfg = tiny_cfg();
+        let bytes = capture(cfg, 1_000);
+        let expected = meta(&cfg, 1_000);
+        let mut core = fresh_core(cfg);
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                restore_checkpoint(&bad[..], &expected, &mut core).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let cfg = tiny_cfg();
+        let mut bytes = capture(cfg, 1_000);
+        bytes.push(0);
+        let mut core = fresh_core(cfg);
+        assert!(matches!(
+            restore_checkpoint(&bytes[..], &meta(&cfg, 1_000), &mut core),
+            Err(CbsError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_precise() {
+        let e = CbsError::DesignMismatch {
+            stored: "B2".into(),
+            expected: "TAGE-L".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("B2") && s.contains("TAGE-L"), "{s}");
+        assert!(CbsError::BadMagic.to_string().contains("COBRACBS"));
+    }
+
+    #[test]
+    fn static_lookup_still_available_after_restore() {
+        // Regression guard: restore must not disturb the stream's static
+        // decode (wrong-path fetch consults it after the boundary).
+        let s = branchy(10);
+        assert_eq!(s.inst_at(0x9999), StaticInst::filler());
+    }
+}

@@ -23,7 +23,7 @@ use cobra_core::composer::{BranchPredictorUnit, Design, GhistRepairMode, PacketI
 use cobra_core::{
     BranchKind, ComposeError, PredictionBundle, SlotResolution, MAX_FETCH_WIDTH, SLOT_BYTES,
 };
-use cobra_sim::TokenSlab;
+use cobra_sim::{SnapError, StateReader, StateWriter, TokenSlab};
 use std::collections::VecDeque;
 
 /// A fetch packet travelling through the prediction pipeline stages.
@@ -109,6 +109,148 @@ struct TokenInfo {
     ras_ops: RasOps,
 }
 
+/// Biased `Option<MispredictKind>` codec: 0 = `None`, 1 = direction,
+/// 2 = target.
+fn encode_misp(m: Option<MispredictKind>) -> u64 {
+    match m {
+        None => 0,
+        Some(MispredictKind::Direction) => 1,
+        Some(MispredictKind::Target) => 2,
+    }
+}
+
+fn decode_misp(r: &mut StateReader<'_>) -> Result<Option<MispredictKind>, SnapError> {
+    Ok(match r.read_u64_capped("mispredict kind", 2)? {
+        0 => None,
+        1 => Some(MispredictKind::Direction),
+        _ => Some(MispredictKind::Target),
+    })
+}
+
+impl InflightFetch {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.id);
+        w.write_u64(self.pc);
+        w.write_u64(u64::from(self.width));
+        w.write_u64(u64::from(self.stage));
+        self.used.save_state(w);
+        w.write_bool(self.steered);
+    }
+
+    fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(InflightFetch {
+            id: r.read_u64("fetch id")?,
+            pc: r.read_u64("fetch pc")?,
+            width: r.read_u64_capped("fetch width", MAX_FETCH_WIDTH as u64)? as u8,
+            stage: r.read_u64_capped("fetch stage", 0xff)? as u8,
+            used: PredictionBundle::load_state(r)?,
+            steered: r.read_bool("fetch steered")?,
+        })
+    }
+}
+
+impl MicroOp {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.token);
+        w.write_u64(u64::from(self.slot));
+        self.op.save_state(w);
+        w.write_u64(u64::from(self.dep));
+        w.write_bool(self.cfi.is_some());
+        if let Some(c) = &self.cfi {
+            c.save_state(w);
+        }
+        w.write_u64(encode_misp(self.mispredict));
+        w.write_bool(self.wrong_path);
+    }
+
+    fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(MicroOp {
+            token: r.read_u64("uop token")?,
+            slot: r.read_u64_capped("uop slot", 0xff)? as u8,
+            op: Op::load_state(r)?,
+            dep: r.read_u64_capped("uop dep", 0xff)? as u8,
+            cfi: if r.read_bool("uop has cfi")? {
+                Some(CfiOutcome::load_state(r)?)
+            } else {
+                None
+            },
+            mispredict: decode_misp(r)?,
+            wrong_path: r.read_bool("uop wrong path")?,
+        })
+    }
+}
+
+impl RobEntry {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.seq);
+        self.uop.save_state(w);
+        w.write_bool(self.issued);
+        w.write_u64(self.completion);
+    }
+
+    fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(RobEntry {
+            seq: r.read_u64("rob seq")?,
+            uop: MicroOp::load_state(r)?,
+            issued: r.read_bool("rob issued")?,
+            completion: r.read_u64("rob completion")?,
+        })
+    }
+}
+
+impl RasOps {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(u64::from(self.len));
+        for (slot, op) in self.iter() {
+            w.write_u64(u64::from(slot));
+            match op {
+                RasOp::Push(a) => {
+                    w.write_u64(0);
+                    w.write_u64(a);
+                }
+                RasOp::Pop => w.write_u64(1),
+            }
+        }
+    }
+
+    fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let len = r.read_u64_capped("ras op count", MAX_FETCH_WIDTH as u64)?;
+        let mut ops = RasOps::default();
+        for _ in 0..len {
+            let slot = r.read_u64_capped("ras op slot", 0xff)? as u8;
+            let op = match r.read_u64_capped("ras op kind", 1)? {
+                0 => RasOp::Push(r.read_u64("ras push addr")?),
+                _ => RasOp::Pop,
+            };
+            ops.push(slot, op);
+        }
+        Ok(ops)
+    }
+}
+
+impl TokenInfo {
+    fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(u64::from(self.remaining));
+        w.write_bool(self.ras_snap.is_some());
+        if let Some(s) = &self.ras_snap {
+            s.save_state(w);
+        }
+        self.ras_ops.save_state(w);
+    }
+
+    fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(TokenInfo {
+            remaining: r.read_u64_capped("token remaining", u64::from(u32::MAX))? as u32,
+            ras_snap: if r.read_bool("token has ras snap")? {
+                Some(RasSnapshot::load_state(r)?)
+            } else {
+                None
+            },
+            ras_ops: RasOps::load_state(r)?,
+        })
+    }
+}
+
 /// The simulated core.
 pub struct Core<S> {
     cfg: CoreConfig,
@@ -128,6 +270,10 @@ pub struct Core<S> {
     on_wrong_path: bool,
     lookahead: Option<DynInst>,
     stream_done: bool,
+    /// Total `next_inst` calls made on the stream — the workload cursor.
+    /// A checkpoint restore replays this many reads against a fresh
+    /// deterministic stream to reposition it.
+    stream_reads: u64,
 
     // Backend state.
     rob: VecDeque<RobEntry>,
@@ -176,6 +322,7 @@ impl<S: InstructionStream> Core<S> {
             on_wrong_path: false,
             lookahead: None,
             stream_done: false,
+            stream_reads: 0,
             rob: VecDeque::new(),
             next_seq: 0,
             completion_ring: vec![(u64::MAX, 0); COMPLETION_RING],
@@ -243,6 +390,7 @@ impl<S: InstructionStream> Core<S> {
     fn peek_inst(&mut self) -> Option<&DynInst> {
         if self.lookahead.is_none() && !self.stream_done {
             self.lookahead = self.stream.next_inst();
+            self.stream_reads += 1;
             if self.lookahead.is_none() {
                 self.stream_done = true;
             }
@@ -963,6 +1111,131 @@ impl<S: InstructionStream> Core<S> {
             self.fetch_buffer.extend(uops.drain(..));
         }
         self.uop_scratch = uops;
+    }
+
+    /// Serializes the complete core state — predictor unit, caches, RAS,
+    /// frontend and backend queues, and the workload cursor — into a
+    /// checkpoint stream.
+    ///
+    /// The workload itself is not stored: only the number of `next_inst`
+    /// reads consumed so far, which [`load_state`](Self::load_state)
+    /// replays against a freshly-built deterministic stream. Per-cycle
+    /// scratch buffers are excluded (they are dead between cycles).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.begin_section("core");
+        w.write_u64(self.cycle);
+        self.counters.save_state(w);
+        w.write_u64(self.fetch_pc);
+        w.write_u64(self.fetch_stall_until);
+        w.write_u64(self.expected_pc);
+        w.write_bool(self.on_wrong_path);
+        w.write_bool(self.stream_done);
+        w.write_u64(self.stream_reads);
+        w.write_bool(self.lookahead.is_some());
+        if let Some(inst) = &self.lookahead {
+            inst.save_state(w);
+        }
+        w.write_u64(self.next_seq);
+        w.write_u64(self.committed_before);
+        w.write_u64(self.last_commit_cycle);
+        w.write_u64(self.fetch_pipeline.len() as u64);
+        for f in &self.fetch_pipeline {
+            f.save_state(w);
+        }
+        w.write_u64(self.fetch_buffer.len() as u64);
+        for u in &self.fetch_buffer {
+            u.save_state(w);
+        }
+        w.write_u64(self.rob.len() as u64);
+        for e in &self.rob {
+            e.save_state(w);
+        }
+        for &(seq, completion) in &self.completion_ring {
+            w.write_u64(seq);
+            w.write_u64(completion);
+        }
+        self.tokens.save_state(w, |w, info| info.save_state(w));
+        w.write_u64(self.pending_resolves.len() as u64);
+        for (token, res, misp, due) in &self.pending_resolves {
+            w.write_u64(*token);
+            res.save_state(w);
+            w.write_u64(encode_misp(*misp));
+            w.write_u64(*due);
+        }
+        self.ras.save_state(w);
+        self.mem.save_state(w);
+        self.bpu.save_state(w);
+        w.end_section();
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// core that was *freshly built* ([`Core::new`]) from the same design,
+    /// configuration, and workload — the stream cursor is repositioned by
+    /// replaying the recorded number of reads, which is only correct when
+    /// the stream starts at its beginning and is deterministic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] when the payload is malformed or shaped for
+    /// a different design or configuration.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        r.open_section("core")?;
+        self.cycle = r.read_u64("core cycle")?;
+        self.counters = PerfCounters::load_state(r)?;
+        self.fetch_pc = r.read_u64("core fetch pc")?;
+        self.fetch_stall_until = r.read_u64("core fetch stall")?;
+        self.expected_pc = r.read_u64("core expected pc")?;
+        self.on_wrong_path = r.read_bool("core on wrong path")?;
+        self.stream_done = r.read_bool("core stream done")?;
+        let reads = r.read_u64("core stream reads")?;
+        for _ in 0..reads {
+            let _ = self.stream.next_inst();
+        }
+        self.stream_reads = reads;
+        self.lookahead = if r.read_bool("core has lookahead")? {
+            Some(DynInst::load_state(r)?)
+        } else {
+            None
+        };
+        self.next_seq = r.read_u64("core next seq")?;
+        self.committed_before = r.read_u64("core committed before")?;
+        self.last_commit_cycle = r.read_u64("core last commit cycle")?;
+        let n_fetch = r.read_u64_capped("core fetch pipeline", 64)?;
+        self.fetch_pipeline.clear();
+        for _ in 0..n_fetch {
+            self.fetch_pipeline.push_back(InflightFetch::load_state(r)?);
+        }
+        let n_buf = r.read_u64_capped("core fetch buffer", 1 << 16)?;
+        self.fetch_buffer.clear();
+        for _ in 0..n_buf {
+            self.fetch_buffer.push_back(MicroOp::load_state(r)?);
+        }
+        let n_rob = r.read_u64_capped("core rob", 1 << 20)?;
+        self.rob.clear();
+        for _ in 0..n_rob {
+            self.rob.push_back(RobEntry::load_state(r)?);
+        }
+        for slot in &mut self.completion_ring {
+            *slot = (
+                r.read_u64("core ring seq")?,
+                r.read_u64("core ring completion")?,
+            );
+        }
+        self.tokens.load_state(r, TokenInfo::load_state)?;
+        let n_pending = r.read_u64_capped("core pending resolves", 1 << 16)?;
+        self.pending_resolves.clear();
+        for _ in 0..n_pending {
+            self.pending_resolves.push((
+                r.read_u64("pending token")?,
+                SlotResolution::load_state(r)?,
+                decode_misp(r)?,
+                r.read_u64("pending due cycle")?,
+            ));
+        }
+        self.ras.load_state(r)?;
+        self.mem.load_state(r)?;
+        self.bpu.load_state(r)?;
+        r.close_section()
     }
 }
 

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod checkpoint;
 mod config;
 mod core;
 mod perf;
@@ -40,6 +41,9 @@ mod tracesim;
 
 pub use crate::core::Core;
 pub use cache::{Cache, MemoryHierarchy};
+pub use checkpoint::{
+    config_hash, read_meta, restore_checkpoint, save_checkpoint, CbsError, CbsMeta,
+};
 pub use config::{CacheConfig, CoreConfig};
 pub use perf::{harmonic_mean, PerfCounters, PerfReport};
 pub use program::{CfiOutcome, DynInst, InstructionStream, IterStream, Op, StaticInst};

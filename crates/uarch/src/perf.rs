@@ -1,6 +1,7 @@
 //! Performance counters and the end-of-run report.
 
 use cobra_core::obs::AttributionReport;
+use cobra_sim::{SnapError, StateReader, StateWriter};
 
 /// The out-of-band profiling counters the simulated core maintains
 /// (standing in for FireSim's profiling tools and `perf`).
@@ -61,6 +62,44 @@ impl PerfCounters {
         } else {
             100.0 * (1.0 - self.cond_mispredicts as f64 / self.cond_branches as f64)
         }
+    }
+}
+
+impl PerfCounters {
+    /// Serializes the counters into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.cycles);
+        w.write_u64(self.committed_insts);
+        w.write_u64(self.cond_branches);
+        w.write_u64(self.cfis);
+        w.write_u64(self.cond_mispredicts);
+        w.write_u64(self.target_mispredicts);
+        w.write_u64(self.override_redirects);
+        w.write_u64(self.history_replays);
+        w.write_u64(self.fetch_bubbles);
+        w.write_u64(self.icache_stall_cycles);
+        w.write_u64(self.rob_stall_cycles);
+    }
+
+    /// Decodes counters written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(PerfCounters {
+            cycles: r.read_u64("perf cycles")?,
+            committed_insts: r.read_u64("perf committed insts")?,
+            cond_branches: r.read_u64("perf cond branches")?,
+            cfis: r.read_u64("perf cfis")?,
+            cond_mispredicts: r.read_u64("perf cond mispredicts")?,
+            target_mispredicts: r.read_u64("perf target mispredicts")?,
+            override_redirects: r.read_u64("perf override redirects")?,
+            history_replays: r.read_u64("perf history replays")?,
+            fetch_bubbles: r.read_u64("perf fetch bubbles")?,
+            icache_stall_cycles: r.read_u64("perf icache stalls")?,
+            rob_stall_cycles: r.read_u64("perf rob stalls")?,
+        })
     }
 }
 

@@ -10,6 +10,7 @@
 //! exactly as real speculation does.
 
 use cobra_core::BranchKind;
+use cobra_sim::{SnapError, StateReader, StateWriter};
 
 /// An instruction's execution class, determining issue port and latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -36,6 +37,48 @@ pub enum Op {
     Cfi,
 }
 
+impl Op {
+    /// Serializes the operation into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        match self {
+            Op::Int => w.write_u64(0),
+            Op::Mul => w.write_u64(1),
+            Op::Div => w.write_u64(2),
+            Op::Fp => w.write_u64(3),
+            Op::Cfi => w.write_u64(4),
+            Op::Load { addr } => {
+                w.write_u64(5);
+                w.write_u64(*addr);
+            }
+            Op::Store { addr } => {
+                w.write_u64(6);
+                w.write_u64(*addr);
+            }
+        }
+    }
+
+    /// Decodes an operation written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.read_u64_capped("op code", 6)? {
+            0 => Op::Int,
+            1 => Op::Mul,
+            2 => Op::Div,
+            3 => Op::Fp,
+            4 => Op::Cfi,
+            5 => Op::Load {
+                addr: r.read_u64("load addr")?,
+            },
+            _ => Op::Store {
+                addr: r.read_u64("store addr")?,
+            },
+        })
+    }
+}
+
 /// The resolved outcome of a control-flow instruction on the correct path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CfiOutcome {
@@ -48,6 +91,35 @@ pub struct CfiOutcome {
     /// `true` for a short-forwards "hammock" branch eligible for the
     /// Section VI-C predication optimization.
     pub sfb: bool,
+}
+
+impl CfiOutcome {
+    /// Serializes the outcome into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.kind.code());
+        w.write_bool(self.taken);
+        w.write_u64(self.target);
+        w.write_bool(self.sfb);
+    }
+
+    /// Decodes an outcome written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let code = r.read_u64("cfi kind")?;
+        let kind = BranchKind::from_code(code).ok_or(SnapError::BadValue {
+            what: "cfi kind",
+            got: code,
+        })?;
+        Ok(CfiOutcome {
+            kind,
+            taken: r.read_bool("cfi taken")?,
+            target: r.read_u64("cfi target")?,
+            sfb: r.read_bool("cfi sfb")?,
+        })
+    }
 }
 
 /// One architecturally-executed instruction.
@@ -73,6 +145,38 @@ impl DynInst {
             cfi: None,
             dep: 0,
         }
+    }
+
+    /// Serializes the instruction into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.pc);
+        self.op.save_state(w);
+        w.write_bool(self.cfi.is_some());
+        if let Some(c) = &self.cfi {
+            c.save_state(w);
+        }
+        w.write_u64(u64::from(self.dep));
+    }
+
+    /// Decodes an instruction written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        let pc = r.read_u64("inst pc")?;
+        let op = Op::load_state(r)?;
+        let cfi = if r.read_bool("inst has cfi")? {
+            Some(CfiOutcome::load_state(r)?)
+        } else {
+            None
+        };
+        Ok(DynInst {
+            pc,
+            op,
+            cfi,
+            dep: r.read_u64_capped("inst dep", 0xff)? as u8,
+        })
     }
 }
 

@@ -1,6 +1,8 @@
 //! The return-address stack — "the only prediction sub-component from the
 //! original BOOM core which was preserved" (paper Section IV-C).
 
+use cobra_sim::{SnapError, StateReader, StateWriter};
+
 /// A circular return-address stack with snapshot repair.
 ///
 /// Calls push the return address; returns pop a predicted target. Since
@@ -18,6 +20,26 @@ pub struct ReturnAddressStack {
 pub struct RasSnapshot {
     top: usize,
     value: u64,
+}
+
+impl RasSnapshot {
+    /// Serializes the snapshot into a checkpoint stream.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.write_u64(self.top as u64);
+        w.write_u64(self.value);
+    }
+
+    /// Decodes a snapshot written by [`save_state`](Self::save_state).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(r: &mut StateReader<'_>) -> Result<Self, SnapError> {
+        Ok(RasSnapshot {
+            top: r.read_u64_capped("ras snapshot top", 1 << 20)? as usize,
+            value: r.read_u64("ras snapshot value")?,
+        })
+    }
 }
 
 impl ReturnAddressStack {
@@ -64,6 +86,32 @@ impl ReturnAddressStack {
     pub fn restore(&mut self, snap: RasSnapshot) {
         self.top = snap.top;
         self.entries[self.top] = snap.value;
+    }
+
+    /// Serializes the stack contents and position into a checkpoint
+    /// stream. Capacity is configuration and is not stored.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.begin_section("ras");
+        w.write_u64(self.top as u64);
+        for &e in &self.entries {
+            w.write_u64(e);
+        }
+        w.end_section();
+    }
+
+    /// Restores state written by [`save_state`](Self::save_state) into a
+    /// stack of the same capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] on malformed input.
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        r.open_section("ras")?;
+        self.top = r.read_u64_capped("ras top", self.entries.len() as u64 - 1)? as usize;
+        for e in &mut self.entries {
+            *e = r.read_u64("ras entry")?;
+        }
+        r.close_section()
     }
 }
 

@@ -16,7 +16,9 @@ use cobra::core::validate::{check_component, CheckConfig};
 use cobra::core::{
     Component, Meta, PredictQuery, PredictionBundle, Response, StorageReport, UpdateEvent,
 };
-use cobra::sim::{bits, PortKind, SaturatingCounter, SramModel};
+use cobra::sim::{
+    bits, PortKind, SaturatingCounter, SnapError, SramModel, StateReader, StateWriter,
+};
 use cobra::uarch::{Core, CoreConfig};
 use cobra::workloads::spec17;
 
@@ -116,6 +118,15 @@ impl Component for AgreePredictor {
             agree.train(input_taken == r.taken);
         }
         self.table.write(idx, agree.value());
+    }
+
+    fn save_state(&self, w: &mut StateWriter) {
+        self.table.save_state(w, |w, &c| w.write_u64(u64::from(c)));
+    }
+
+    fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        self.table
+            .load_state(r, |r| Ok(r.read_u64_capped("agree counter", 0xff)? as u8))
     }
 }
 

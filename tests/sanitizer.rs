@@ -9,7 +9,7 @@ use cobra::core::composer::{ComponentRegistry, PredictorPipeline, Topology};
 use cobra::core::{
     sanitize, Component, HistoryView, Meta, PredictQuery, PredictionBundle, Response, StorageReport,
 };
-use cobra::sim::HistoryRegister;
+use cobra::sim::{HistoryRegister, SnapError, StateReader, StateWriter};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, MutexGuard};
 
@@ -40,6 +40,10 @@ impl Component for Hint {
             pred,
             meta: Meta::ZERO,
         }
+    }
+    fn save_state(&self, _w: &mut StateWriter) {}
+    fn load_state(&mut self, _r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
@@ -77,6 +81,10 @@ impl Component for Dropper {
                 .copied()
                 .unwrap_or_else(|| PredictionBundle::new(width)),
         }
+    }
+    fn save_state(&self, _w: &mut StateWriter) {}
+    fn load_state(&mut self, _r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        Ok(())
     }
 }
 
