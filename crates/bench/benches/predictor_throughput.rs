@@ -1,12 +1,16 @@
 //! Bench: raw query+update throughput of each predictor sub-component —
 //! the simulation-speed axis the paper contrasts against software
-//! simulators.
+//! simulators — plus a composed plan-vs-interpreter arm per stock design
+//! (the devirtualized packet path against the reference interpreter; the
+//! measured speedups are recorded in `results/perf_plan.md`).
 
 use cobra_bench::timing::Harness;
 use cobra_core::components::{
     Btb, BtbConfig, Gtag, GtagConfig, Hbim, HbimConfig, LoopConfig, LoopPredictor, MicroBtb,
     MicroBtbConfig, Perceptron, PerceptronConfig, Tage, TageConfig, Tourney, TourneyConfig,
 };
+use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
+use cobra_core::designs;
 use cobra_core::{
     BranchKind, Component, HistoryView, PredictQuery, PredictionBundle, SlotResolution, UpdateEvent,
 };
@@ -96,5 +100,44 @@ fn main() {
     for (name, mk) in cases {
         let mut c = mk();
         h.bench(name, || drive(c.as_mut(), 100));
+    }
+
+    // Composed packet path per stock design: the compiled execution plan
+    // against the reference interpreter on the identical BPU round trip.
+    let mut h = Harness::new("packet_path");
+    for design in designs::all() {
+        for (mode, plan) in [("plan", true), ("interpreter", false)] {
+            let mut bpu =
+                BranchPredictorUnit::build(&design, BpuConfig::default()).expect("composes");
+            bpu.force_plan(plan);
+            let mut rng = SplitMix64::new(3);
+            h.bench(&format!("{}/{mode}", design.name), || {
+                roundtrip(&mut bpu, &mut rng, 64)
+            });
+        }
+    }
+}
+
+fn roundtrip(bpu: &mut BranchPredictorUnit, rng: &mut SplitMix64, n: usize) {
+    for _ in 0..n {
+        bpu.tick();
+        let pc = 0x2_0000 + rng.below(1 << 10) * 16;
+        let Some(id) = bpu.query(pc) else {
+            while bpu.commit_front().is_some() {}
+            continue;
+        };
+        bpu.speculate(id, 1);
+        let last = *bpu.prediction(id, bpu.depth()).expect("live packet");
+        bpu.accept(id, last);
+        let taken = rng.chance(0.5);
+        let res = SlotResolution {
+            slot: 0,
+            kind: BranchKind::Conditional,
+            taken,
+            target: pc + 32,
+        };
+        let mispredicted = rng.chance(0.05);
+        black_box(bpu.resolve(id, res, mispredicted));
+        while bpu.commit_front().is_some() {}
     }
 }

@@ -258,6 +258,65 @@ pub fn job_id(i: usize) -> String {
     format!("job{i:02}")
 }
 
+/// The packet-path mode the next composed pipeline will use, as a stable
+/// string for machine-readable output: `"plan"` (compiled execution plan)
+/// or `"interpreter"` (`COBRA_PLAN=off`).
+pub fn packet_path_mode() -> &'static str {
+    if cobra_core::composer::plan_env_enabled() {
+        "plan"
+    } else {
+        "interpreter"
+    }
+}
+
+/// A machine-readable summary of a finished grid: total wall clock,
+/// aggregate MIPS, packet-path mode, thread count, and one record per
+/// job. What the fig10 harness writes to `results/bench_fig10.json`.
+pub fn grid_summary_json(results: &[JobResult], threads: usize, wall: Duration) -> String {
+    let insts: u64 = results
+        .iter()
+        .map(|r| r.report.counters.committed_insts)
+        .sum();
+    let wall_s = wall.as_secs_f64();
+    let mips = if wall_s > 0.0 {
+        insts as f64 / wall_s / 1e6
+    } else {
+        0.0
+    };
+    let jobs: Vec<String> = results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| format!("  {}", metrics_record(&job_id(i), r)))
+        .collect();
+    format!(
+        "{{\n\"mode\":{},\n\"threads\":{threads},\n\"jobs_n\":{},\n\"wall_s\":{wall_s:.6},\n\
+         \"aggregate_mips\":{mips:.3},\n\"insts\":{insts},\n\"jobs\":[\n{}\n]\n}}",
+        jsonv::escape(packet_path_mode()),
+        results.len(),
+        jobs.join(",\n")
+    )
+}
+
+/// Writes [`grid_summary_json`] to `path`, creating parent directories as
+/// needed. Failures are reported to stderr but never fail the run — the
+/// tables on stdout are the primary artifact.
+pub fn write_grid_summary(path: &str, results: &[JobResult], threads: usize, wall: Duration) {
+    let json = grid_summary_json(results, threads, wall);
+    let write = || -> std::io::Result<()> {
+        if let Some(parent) = std::path::Path::new(path).parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, json.as_bytes())?;
+        Ok(())
+    };
+    match write() {
+        Ok(()) => eprintln!("[runner] grid summary written to {path}"),
+        Err(e) => eprintln!("[runner] warning: could not write {path}: {e}"),
+    }
+}
+
 /// One JSONL metrics record for a finished job — also what `cobra-trace
 /// --metrics` emits, so both surfaces share one schema.
 pub fn metrics_record(job_id: &str, r: &JobResult) -> String {

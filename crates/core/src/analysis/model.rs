@@ -215,7 +215,7 @@ impl Builder<'_> {
         declared_inputs: usize,
         is_selector: bool,
     ) -> Option<usize> {
-        let Some(c) = self.registry.build(name, self.width) else {
+        let Ok(c) = self.registry.build(name, self.width, Some(span)) else {
             self.resolution.push(
                 Diagnostic::new(
                     DiagCode::UnknownComponent,

@@ -61,6 +61,7 @@ pub struct Btb {
     ways: Vec<SramModel<BtbEntry>>,
     /// Round-robin replacement pointer (a small flop in hardware).
     victim_ptr: u64,
+    armed_victim_ptr: Option<u64>,
 }
 
 impl Btb {
@@ -101,6 +102,7 @@ impl Btb {
             cfg,
             ways,
             victim_ptr: 0,
+            armed_victim_ptr: None,
         }
     }
 
@@ -121,19 +123,6 @@ impl Btb {
 
     fn tag(&self, slot_pc: u64) -> u64 {
         (bits::mix64(slot_pc >> 1) >> 24) & bits::mask(self.cfg.tag_bits)
-    }
-
-    fn lookup(&mut self, cycle: u64, slot: usize, slot_pc: u64) -> Option<(u64, BtbEntry)> {
-        let set = self.set_index(slot, slot_pc);
-        let tag = self.tag(slot_pc);
-        for (w, way) in self.ways.iter_mut().enumerate() {
-            way.begin_cycle(cycle);
-            let e = *way.read(set);
-            if e.valid && e.tag == tag {
-                return Some((w as u64, e));
-            }
-        }
-        None
     }
 
     fn meta_shift(slot: usize) -> u32 {
@@ -195,11 +184,27 @@ impl Component for Btb {
     fn predict(&mut self, q: &PredictQuery<'_>) -> Response {
         let mut pred = PredictionBundle::new(q.width);
         let mut meta = 0u64;
+        // One accounting cycle per way per packet: every slot reads its
+        // own bank, so per-bank counts (and hence violations) match the
+        // per-lookup reset exactly while skipping width-1 counter fills.
+        for way in &mut self.ways {
+            way.begin_cycle(q.cycle);
+        }
+        let rows = self.sets() / self.cfg.width as u64;
+        let row_mask = bits::mask(bits::clog2(rows));
+        let tag_mask = bits::mask(self.cfg.tag_bits);
         for i in 0..q.width as usize {
-            if let Some((way, e)) = self.lookup(q.cycle, i, q.slot_pc(i)) {
-                pred.slot_mut(i).kind = e.kind;
-                pred.slot_mut(i).target = Some(e.target);
-                meta |= (1 | (way << 1)) << Self::meta_shift(i);
+            let h = bits::mix64(q.slot_pc(i) >> 1);
+            let set = i as u64 * rows + (h & row_mask);
+            let tag = (h >> 24) & tag_mask;
+            for (w, way) in self.ways.iter_mut().enumerate() {
+                let e = *way.read(set);
+                if e.valid && e.tag == tag {
+                    pred.slot_mut(i).kind = e.kind;
+                    pred.slot_mut(i).set_target(Some(e.target));
+                    meta |= (1 | ((w as u64) << 1)) << Self::meta_shift(i);
+                    break;
+                }
             }
         }
         Response {
@@ -245,6 +250,23 @@ impl Component for Btb {
                     },
                 );
             }
+        }
+    }
+
+    fn arm_baseline(&mut self) -> bool {
+        for way in &mut self.ways {
+            way.arm_baseline();
+        }
+        self.armed_victim_ptr = Some(self.victim_ptr);
+        true
+    }
+
+    fn reset_baseline(&mut self) {
+        for way in &mut self.ways {
+            way.reset_to_baseline();
+        }
+        if let Some(p) = self.armed_victim_ptr {
+            self.victim_ptr = p;
         }
     }
 
@@ -313,7 +335,7 @@ mod tests {
     fn learns_taken_branch_target() {
         let mut btb = Btb::new(BtbConfig::large(4));
         let r = btb.predict(&query(0x1000));
-        assert!(r.pred.slot(1).target.is_none());
+        assert!(r.pred.slot(1).target().is_none());
         resolve(
             &mut btb,
             0x1000,
@@ -326,7 +348,7 @@ mod tests {
             }],
         );
         let r = btb.predict(&query(0x1000));
-        assert_eq!(r.pred.slot(1).target, Some(0x2000));
+        assert_eq!(r.pred.slot(1).target(), Some(0x2000));
         assert_eq!(r.pred.slot(1).kind, Some(BranchKind::Conditional));
         assert_eq!(r.pred.slot(1).taken, None, "BTB never predicts direction");
     }
@@ -366,7 +388,7 @@ mod tests {
             }],
         );
         let r = btb.predict(&query(0x3000));
-        assert_eq!(r.pred.slot(2).target, Some(0xaaa0));
+        assert_eq!(r.pred.slot(2).target(), Some(0xaaa0));
         resolve(
             &mut btb,
             0x3000,
@@ -379,7 +401,7 @@ mod tests {
             }],
         );
         let r = btb.predict(&query(0x3000));
-        assert_eq!(r.pred.slot(2).target, Some(0xbbb0));
+        assert_eq!(r.pred.slot(2).target(), Some(0xbbb0));
     }
 
     #[test]
@@ -410,7 +432,7 @@ mod tests {
         }
         let last = *pcs.last().unwrap();
         let r = btb.predict(&query(last));
-        assert_eq!(r.pred.slot(0).target, Some(last + 0x88));
+        assert_eq!(r.pred.slot(0).target(), Some(last + 0x88));
     }
 
     #[test]
@@ -464,7 +486,7 @@ mod tests {
             ],
         );
         let r = btb.predict(&query(0x7000));
-        assert_eq!(r.pred.slot(0).target, Some(0x100));
+        assert_eq!(r.pred.slot(0).target(), Some(0x100));
         assert_eq!(r.pred.slot(3).kind, Some(BranchKind::Ret));
         assert!(r.pred.slot(1).kind.is_none());
     }

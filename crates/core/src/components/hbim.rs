@@ -210,6 +210,51 @@ impl Hbim {
         }
     }
 
+    /// The slot-invariant history contribution to the index: every slot in
+    /// a packet shares one history view, so the fold is computed once per
+    /// query and combined with the per-slot PC hash in [`Self::combine`].
+    fn hist_part(
+        &self,
+        n: u32,
+        ghist: Option<&cobra_sim::HistoryRegister>,
+        lhist: u64,
+        phist: u64,
+    ) -> u64 {
+        match self.cfg.index {
+            IndexScheme::Pc => 0,
+            IndexScheme::GlobalHistory { bits: h } => {
+                let g = ghist.map_or(0, |g| g.low_bits(h.min(g.width()).min(64)));
+                bits::xor_fold(g, n)
+            }
+            IndexScheme::GShare { hist_bits } => {
+                ghist.map_or(0, |g| g.folded(hist_bits.min(g.width()), n))
+            }
+            IndexScheme::GSelect { hist_bits, .. } => {
+                let g = ghist.map_or(0, |g| g.low_bits(hist_bits.min(g.width()).min(64)));
+                g & bits::mask(hist_bits)
+            }
+            IndexScheme::LocalHistory { bits: h } => bits::xor_fold(lhist & bits::mask(h), n),
+            IndexScheme::PathHash { bits: h } => bits::xor_fold(phist & bits::mask(h), n),
+        }
+    }
+
+    /// Combines a precomputed history part with one slot's PC into the
+    /// final counter index.
+    fn combine(&self, n: u32, hist_part: u64, slot_pc: u64) -> u64 {
+        let pc_part = bits::mix64(slot_pc >> 1);
+        let raw = match self.cfg.index {
+            IndexScheme::Pc => pc_part,
+            IndexScheme::GlobalHistory { .. } => hist_part ^ (pc_part & 0xf),
+            IndexScheme::GShare { .. } => pc_part ^ hist_part,
+            IndexScheme::GSelect {
+                pc_bits, hist_bits, ..
+            } => ((pc_part & bits::mask(pc_bits)) << hist_bits) | hist_part,
+            IndexScheme::LocalHistory { .. } => hist_part ^ (pc_part & 0x7),
+            IndexScheme::PathHash { .. } => pc_part ^ hist_part,
+        };
+        raw & bits::mask(n)
+    }
+
     /// Computes the counter index for `slot_pc` under the configured scheme.
     fn index(
         &self,
@@ -219,27 +264,7 @@ impl Hbim {
         phist: u64,
     ) -> u64 {
         let n = self.index_bits();
-        let pc_part = bits::mix64(slot_pc >> 1);
-        let raw = match self.cfg.index {
-            IndexScheme::Pc => pc_part,
-            IndexScheme::GlobalHistory { bits: h } => {
-                let g = ghist.map_or(0, |g| g.low_bits(h.min(g.width()).min(64)));
-                bits::xor_fold(g, n) ^ (pc_part & 0xf)
-            }
-            IndexScheme::GShare { hist_bits } => {
-                let g = ghist.map_or(0, |g| g.folded(hist_bits.min(g.width()), n));
-                pc_part ^ g
-            }
-            IndexScheme::GSelect { pc_bits, hist_bits } => {
-                let g = ghist.map_or(0, |g| g.low_bits(hist_bits.min(g.width()).min(64)));
-                ((pc_part & bits::mask(pc_bits)) << hist_bits) | (g & bits::mask(hist_bits))
-            }
-            IndexScheme::LocalHistory { bits: h } => {
-                bits::xor_fold(lhist & bits::mask(h), n) ^ (pc_part & 0x7)
-            }
-            IndexScheme::PathHash { bits: h } => pc_part ^ bits::xor_fold(phist & bits::mask(h), n),
-        };
-        raw & bits::mask(n)
+        self.combine(n, self.hist_part(n, ghist, lhist, phist), slot_pc)
     }
 
     fn counter_at(&mut self, idx: u64) -> SaturatingCounter {
@@ -323,8 +348,10 @@ impl Component for Hbim {
         let mut pred = PredictionBundle::new(q.width);
         let mut meta = 0u64;
         if self.cfg.superscalar {
+            let n = self.index_bits();
+            let hpart = self.hist_part(n, ghist, lhist, phist);
             for i in 0..q.width as usize {
-                let row = self.index(q.slot_pc(i), ghist, lhist, phist);
+                let row = self.combine(n, hpart, q.slot_pc(i));
                 let c = self.counter_at(self.entry(i, row));
                 pred.slot_mut(i).taken = Some(c.is_taken());
                 meta |= (c.value() as u64) << (i as u32 * self.cfg.counter_bits as u32);
@@ -363,6 +390,15 @@ impl Component for Hbim {
             c.train(r.taken);
             self.table.write(idx, c.value());
         }
+    }
+
+    fn arm_baseline(&mut self) -> bool {
+        self.table.arm_baseline();
+        true
+    }
+
+    fn reset_baseline(&mut self) {
+        self.table.reset_to_baseline();
     }
 
     fn save_state(&self, w: &mut StateWriter) {

@@ -209,7 +209,7 @@ impl Component for Ittage {
             for i in 0..q.width as usize {
                 if let Some((t, e)) = self.lookup(q.cycle, i, q.slot_pc(i), h.ghist) {
                     if e.ctr >= 1 {
-                        pred.slot_mut(i).target = Some(e.target);
+                        pred.slot_mut(i).set_target(Some(e.target));
                         use meta_layout::*;
                         meta |= (i as u64 & 0x7) << SLOT;
                         meta |= ((t as u64 + 1) & 0x7) << PROVIDER;
@@ -302,6 +302,19 @@ impl Component for Ittage {
                     }
                 }
             }
+        }
+    }
+
+    fn arm_baseline(&mut self) -> bool {
+        for t in &mut self.tables {
+            t.arm_baseline();
+        }
+        true
+    }
+
+    fn reset_baseline(&mut self) {
+        for t in &mut self.tables {
+            t.reset_to_baseline();
         }
     }
 

@@ -109,6 +109,7 @@ pub struct Tage {
     use_alt_on_na: SaturatingCounter,
     rng: SplitMix64,
     update_count: u64,
+    baseline: Option<(SaturatingCounter, SplitMix64, u64)>,
 }
 
 impl Tage {
@@ -163,6 +164,7 @@ impl Tage {
             rng: SplitMix64::new(0xc0b2a),
             cfg,
             update_count: 0,
+            baseline: None,
         }
     }
 
@@ -462,6 +464,25 @@ impl Component for Tage {
             self.tables[pt].write(idx, e);
         }
         let _ = alt_plus1;
+    }
+
+    fn arm_baseline(&mut self) -> bool {
+        for t in &mut self.tables {
+            t.arm_baseline();
+        }
+        self.baseline = Some((self.use_alt_on_na, self.rng.clone(), self.update_count));
+        true
+    }
+
+    fn reset_baseline(&mut self) {
+        for t in &mut self.tables {
+            t.reset_to_baseline();
+        }
+        if let Some((chooser, rng, count)) = &self.baseline {
+            self.use_alt_on_na = *chooser;
+            self.rng = rng.clone();
+            self.update_count = *count;
+        }
     }
 
     fn save_state(&self, w: &mut StateWriter) {

@@ -187,7 +187,7 @@ impl Component for Tourney {
                     };
                     let s = out.slot_mut(i);
                     s.kind = chosen.kind.or(other.kind);
-                    s.target = chosen.target.or(other.target);
+                    s.set_target(chosen.target().or(other.target()));
                     s.taken = chosen.taken.or(other.taken);
                 }
                 out
@@ -241,6 +241,15 @@ impl Component for Tourney {
         if touched {
             self.chooser.write(idx, ctr.value());
         }
+    }
+
+    fn arm_baseline(&mut self) -> bool {
+        self.chooser.arm_baseline();
+        true
+    }
+
+    fn reset_baseline(&mut self) {
+        self.chooser.reset_to_baseline();
     }
 
     fn save_state(&self, w: &mut StateWriter) {
@@ -356,11 +365,11 @@ mod tests {
         // Input 0 carries a BTB target; input 1 carries the direction.
         let mut in0 = PredictionBundle::new(4);
         in0.slot_mut(2).kind = Some(BranchKind::Conditional);
-        in0.slot_mut(2).target = Some(0xcafe0);
+        in0.slot_mut(2).set_target(Some(0xcafe0));
         let mut in1 = PredictionBundle::new(4);
         in1.slot_mut(2).taken = Some(true);
         let out = t.compose(4, Some(&r), &[in0, in1]);
-        assert_eq!(out.slot(2).target, Some(0xcafe0));
+        assert_eq!(out.slot(2).target(), Some(0xcafe0));
         assert_eq!(out.slot(2).taken, Some(true));
         assert_eq!(out.slot(2).kind, Some(BranchKind::Conditional));
     }

@@ -48,6 +48,7 @@ pub struct MicroBtb {
     cfg: MicroBtbConfig,
     entries: Vec<UbtbEntry>,
     victim_ptr: usize,
+    baseline: Option<(Vec<UbtbEntry>, usize)>,
 }
 
 impl MicroBtb {
@@ -72,6 +73,7 @@ impl MicroBtb {
             entries: vec![blank; cfg.entries],
             cfg,
             victim_ptr: 0,
+            baseline: None,
         }
     }
 
@@ -128,7 +130,7 @@ impl Component for MicroBtb {
             if let Some(idx) = self.find(q.slot_pc(i)) {
                 let e = &self.entries[idx];
                 pred.slot_mut(i).kind = Some(e.kind);
-                pred.slot_mut(i).target = Some(e.target);
+                pred.slot_mut(i).set_target(Some(e.target));
                 if e.kind == BranchKind::Conditional {
                     pred.slot_mut(i).taken = Some(e.ctr.is_taken());
                 }
@@ -170,6 +172,20 @@ impl Component for MicroBtb {
                     ctr: SaturatingCounter::weakly_taken(self.cfg.counter_bits),
                 };
             }
+        }
+    }
+
+    fn arm_baseline(&mut self) -> bool {
+        // The uBTB is tiny (<= 64 flop entries): a full clone is cheaper
+        // than row-level dirty tracking.
+        self.baseline = Some((self.entries.clone(), self.victim_ptr));
+        true
+    }
+
+    fn reset_baseline(&mut self) {
+        if let Some((entries, ptr)) = &self.baseline {
+            self.entries.clone_from(entries);
+            self.victim_ptr = *ptr;
         }
     }
 
@@ -254,7 +270,7 @@ mod tests {
         let s = r.pred.slot(1);
         assert_eq!(s.kind, Some(BranchKind::Conditional));
         assert_eq!(s.taken, Some(true));
-        assert_eq!(s.target, Some(0x500));
+        assert_eq!(s.target(), Some(0x500));
     }
 
     #[test]
@@ -279,7 +295,7 @@ mod tests {
         let r = u.predict(&query(0x100));
         assert_eq!(r.pred.slot(0).taken, Some(false));
         assert_eq!(
-            r.pred.slot(0).target,
+            r.pred.slot(0).target(),
             Some(0x500),
             "target survives direction retraining"
         );
@@ -301,7 +317,7 @@ mod tests {
         let r = u.predict(&query(0x1000));
         assert!(r.pred.slot(0).kind.is_none());
         let r = u.predict(&query(0x1080));
-        assert_eq!(r.pred.slot(0).target, Some(0x1088));
+        assert_eq!(r.pred.slot(0).target(), Some(0x1088));
     }
 
     #[test]

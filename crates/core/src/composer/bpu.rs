@@ -45,8 +45,10 @@ use crate::error::ComposeError;
 use crate::iface::{HistoryView, SlotResolution, UpdateEvent};
 use crate::obs::trace::{TraceEvent, TraceEventKind, TraceSink};
 use crate::obs::{AttributionReport, DecisionField, PcBlame, StatsSink};
-use crate::types::{BranchKind, PredictionBundle, StorageReport, SLOT_BYTES};
-use cobra_sim::{HistoryRegister, SnapError, Snapshot, StateReader, StateWriter, TokenSlab};
+use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport, SLOT_BYTES};
+use cobra_sim::{
+    HistoryRegister, HistorySnapshot, SnapError, Snapshot, StateReader, StateWriter, TokenSlab,
+};
 
 /// Identifies an in-flight fetch packet (its history-file token).
 pub type PacketId = u64;
@@ -137,6 +139,12 @@ pub struct BranchPredictorUnit {
     /// Keyed by the sequential history-file token, whose live window is
     /// bounded by `cfg.history_file_entries`.
     stage_bundles: TokenSlab<Vec<PredictionBundle>>,
+    /// Recycled heap buffers from retired packets, reused by the next
+    /// [`query_packet`](Self::query_packet) so the steady-state predict
+    /// path performs no allocation. Transient: never serialized.
+    stage_pool: Vec<Vec<PredictionBundle>>,
+    meta_pool: Vec<Vec<Meta>>,
+    snap_pool: Vec<HistorySnapshot>,
     scratch_hist: HistoryRegister,
     stats: BpuStats,
     /// Cycles of repair-walk work queued by the last mispredict.
@@ -144,6 +152,9 @@ pub struct BranchPredictorUnit {
     design_name: String,
     obs: StatsSink,
     tracers: Vec<TraceSink>,
+    /// Serialized front-end state (everything but the pipeline) captured
+    /// by [`arm_baseline`](Self::arm_baseline).
+    host_baseline: Option<Vec<u8>>,
 }
 
 impl BranchPredictorUnit {
@@ -208,11 +219,15 @@ impl BranchPredictorUnit {
             cfg,
             cycle: 0,
             stage_bundles: TokenSlab::new(cfg.history_file_entries),
+            stage_pool: Vec::new(),
+            meta_pool: Vec::new(),
+            snap_pool: Vec::new(),
             stats: BpuStats::default(),
             last_repair_cycles: 0,
             design_name: design.name.clone(),
             obs,
             tracers,
+            host_baseline: None,
         })
     }
 
@@ -343,7 +358,13 @@ impl BranchPredictorUnit {
         if self.hf.is_full() {
             return None;
         }
-        let snapshot = self.ghist.snapshot();
+        let snapshot = match self.snap_pool.pop() {
+            Some(mut s) => {
+                self.ghist.snapshot_into(&mut s);
+                s
+            }
+            None => self.ghist.snapshot(),
+        };
         let lhist_query = self.lhist.read(self.cycle, pc);
         let phist_query = self.phist.current();
         let hist = HistoryView {
@@ -351,13 +372,18 @@ impl BranchPredictorUnit {
             lhist: lhist_query,
             phist: phist_query,
         };
+        let mut pp = crate::composer::pipeline::PacketPrediction {
+            stages: self.stage_pool.pop().unwrap_or_default(),
+            metas: self.meta_pool.pop().unwrap_or_default(),
+            attr: crate::obs::PacketAttribution::EMPTY,
+        };
+        self.pipeline
+            .predict_packet_into(self.cycle, pc, width, &hist, &mut pp);
         let crate::composer::pipeline::PacketPrediction {
             stages,
             metas,
             attr,
-        } = self
-            .pipeline
-            .predict_packet_width(self.cycle, pc, width, &hist);
+        } = pp;
         let final_bundle = *stages.last().expect("depth >= 1");
         self.obs.note_query(&attr, &final_bundle);
         let decision = attr.decision(&final_bundle);
@@ -487,10 +513,19 @@ impl BranchPredictorUnit {
         } else {
             let removed = self.hf.discard_after(id - 1);
             debug_assert!(removed <= 1);
-            self.stage_bundles.remove(id);
+            self.recycle_stage_bundles(id);
         }
         self.ghist.rewind_to(&snapshot, []);
         self.obs.note_ghist_rewind();
+    }
+
+    /// Removes packet `id`'s stage bundles, returning the buffer to the
+    /// pool for the next query.
+    fn recycle_stage_bundles(&mut self, id: PacketId) {
+        if let Some(mut v) = self.stage_bundles.remove(id) {
+            v.clear();
+            self.stage_pool.push(v);
+        }
     }
 
     fn repair_one(&mut self, id: PacketId) {
@@ -520,7 +555,7 @@ impl BranchPredictorUnit {
         let count = victims.end.saturating_sub(victims.start);
         for t in victims.rev() {
             self.repair_one(t);
-            self.stage_bundles.remove(t);
+            self.recycle_stage_bundles(t);
         }
         let removed = self.hf.discard_after(keep);
         debug_assert_eq!(removed as u64, count);
@@ -560,7 +595,7 @@ impl BranchPredictorUnit {
         };
         self.pipeline.fire(pc, &hist, &e.metas, &bundle);
         self.obs.note_fire();
-        self.stage_bundles.remove(id);
+        self.recycle_stage_bundles(id);
         self.stats.accepts += 1;
         self.trace(TraceEventKind::Fire, pc, None, None, None);
     }
@@ -732,11 +767,24 @@ impl BranchPredictorUnit {
             e.mispredicted_slot.map(|s| s as usize),
             None,
         );
+        // Recycle the retired entry's heap buffers for the next query.
+        let HistoryFileEntry {
+            pc,
+            pred,
+            resolutions,
+            mispredicted_slot,
+            mut metas,
+            ghist,
+            ..
+        } = e;
+        metas.clear();
+        self.meta_pool.push(metas);
+        self.snap_pool.push(ghist);
         Some(CommittedPacket {
-            pc: e.pc,
-            pred: e.pred,
-            resolutions: e.resolutions,
-            mispredicted_slot: e.mispredicted_slot,
+            pc,
+            pred,
+            resolutions,
+            mispredicted_slot,
         })
     }
 
@@ -828,6 +876,15 @@ impl BranchPredictorUnit {
     /// plumbing.
     pub fn save_state(&self, w: &mut StateWriter) {
         w.begin_section("bpu");
+        self.save_front_state(w);
+        self.pipeline.save_state(w);
+        w.end_section();
+    }
+
+    /// Everything [`save_state`](Self::save_state) writes *except* the
+    /// pipeline: cycle, counters, history providers, history file, stage
+    /// bundles, and the attribution sink.
+    fn save_front_state(&self, w: &mut StateWriter) {
         w.write_u64(self.cycle);
         w.write_u64(self.stats.queries);
         w.write_u64(self.stats.accepts);
@@ -848,8 +905,6 @@ impl BranchPredictorUnit {
             }
         });
         self.obs.save_state(w);
-        self.pipeline.save_state(w);
-        w.end_section();
     }
 
     /// Restores state written by [`save_state`](Self::save_state) into a
@@ -861,6 +916,13 @@ impl BranchPredictorUnit {
     /// written by a pipeline with different node labels or table shapes.
     pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
         r.open_section("bpu")?;
+        self.host_baseline = None;
+        self.load_front_state(r)?;
+        self.pipeline.load_state(r)?;
+        r.close_section()
+    }
+
+    fn load_front_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
         self.cycle = r.read_u64("bpu cycle")?;
         self.stats.queries = r.read_u64("bpu queries")?;
         self.stats.accepts = r.read_u64("bpu accepts")?;
@@ -884,8 +946,61 @@ impl BranchPredictorUnit {
             Ok(bundles)
         })?;
         self.obs.load_state(r)?;
-        self.pipeline.load_state(r)?;
-        r.close_section()
+        Ok(())
+    }
+
+    /// Arms a fast-reset baseline at the current state: front-end state is
+    /// serialized to an in-memory buffer (it is small — histories, counters,
+    /// in-flight bundles), and every pipeline component arms dirty-row
+    /// tracking so [`reset_to_baseline`](Self::reset_to_baseline) touches
+    /// only mutated SRAM rows instead of reloading full tables.
+    pub fn arm_baseline(&mut self) {
+        let mut w = StateWriter::new();
+        w.begin_section("bpu-front");
+        self.save_front_state(&mut w);
+        w.end_section();
+        self.host_baseline = Some(w.finish());
+        self.pipeline.arm_baseline();
+    }
+
+    /// `true` when [`arm_baseline`](Self::arm_baseline) has been called and
+    /// no full [`load_state`](Self::load_state) has disarmed it since.
+    pub fn baseline_armed(&self) -> bool {
+        self.host_baseline.is_some() && self.pipeline.baseline_armed()
+    }
+
+    /// Restores the unit to the armed baseline. The baseline stays armed
+    /// for the next rerun.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if a fallback payload fails to decode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no baseline is armed.
+    pub fn reset_to_baseline(&mut self) -> Result<(), SnapError> {
+        let bytes = self
+            .host_baseline
+            .take()
+            .expect("reset_to_baseline without an armed baseline");
+        let mut r = StateReader::new(&bytes);
+        r.open_section("bpu-front")?;
+        self.load_front_state(&mut r)?;
+        r.close_section()?;
+        self.host_baseline = Some(bytes);
+        self.pipeline.reset_to_baseline()
+    }
+
+    /// Overrides the `COBRA_PLAN` gate in-process: `true` forces the
+    /// compiled-plan packet path, `false` the reference interpreter.
+    pub fn force_plan(&mut self, enabled: bool) {
+        self.pipeline.force_plan(enabled);
+    }
+
+    /// Whether the compiled execution plan drives the packet path.
+    pub fn plan_enabled(&self) -> bool {
+        self.pipeline.plan_enabled()
     }
 }
 
@@ -1131,5 +1246,59 @@ mod tests {
         bpu.resolve(a, cond_res(2, true, 0x8000), false);
         bpu.commit_front().unwrap();
         assert_eq!(bpu.stats().cond_branches, 2);
+    }
+
+    fn drive(bpu: &mut BranchPredictorUnit, pcs: std::ops::Range<u64>) {
+        for i in pcs {
+            let pc = 0x1000 + i * 0x40;
+            let id = bpu.query(pc).unwrap();
+            bpu.speculate(id, 1);
+            let pred = *bpu.prediction(id, 3).unwrap();
+            bpu.accept(id, pred);
+            bpu.resolve(id, cond_res(0, i % 3 == 0, pc + 0x200), true);
+            bpu.commit_front().unwrap();
+            bpu.tick();
+        }
+    }
+
+    fn snapshot(bpu: &BranchPredictorUnit) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        bpu.save_state(&mut w);
+        w.finish()
+    }
+
+    #[test]
+    fn baseline_reset_restores_full_unit_state() {
+        for d in [designs::tage_l(), designs::b2(), designs::tournament()] {
+            let mut bpu = build(&d);
+            drive(&mut bpu, 0..40);
+            let before = snapshot(&bpu);
+            bpu.arm_baseline();
+            assert!(bpu.baseline_armed());
+            drive(&mut bpu, 40..90);
+            assert_ne!(snapshot(&bpu), before, "driving must change state");
+            bpu.reset_to_baseline().unwrap();
+            assert_eq!(
+                snapshot(&bpu),
+                before,
+                "{}: dirty reset must be byte-identical to the armed state",
+                d.name
+            );
+            // The baseline stays armed: a second rerun resets again.
+            drive(&mut bpu, 90..120);
+            bpu.reset_to_baseline().unwrap();
+            assert_eq!(snapshot(&bpu), before);
+        }
+    }
+
+    #[test]
+    fn full_restore_disarms_baseline() {
+        let d = designs::b2();
+        let mut bpu = build(&d);
+        bpu.arm_baseline();
+        let bytes = snapshot(&bpu);
+        let mut r = StateReader::new(&bytes);
+        bpu.load_state(&mut r).unwrap();
+        assert!(!bpu.baseline_armed());
     }
 }

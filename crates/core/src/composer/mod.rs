@@ -10,6 +10,10 @@
 //!   packaged design (topology + registry + history parameters);
 //! * [`PredictorPipeline`] — the compiled pipeline: per-stage composition
 //!   of component responses with pass-through and override semantics;
+//! * [`ComponentKind`] / [`ExecutionPlan`] — the devirtualized packet
+//!   path: enum dispatch over the stock components plus precomputed
+//!   per-stage fold schedules (`COBRA_PLAN=off` selects the reference
+//!   interpreter);
 //! * [`HistoryFile`] — the circular buffer tracking in-flight predictions,
 //!   their history snapshots and per-component metadata;
 //! * [`GlobalHistoryProvider`] / [`LocalHistoryProvider`] — speculatively
@@ -20,6 +24,7 @@
 mod bpu;
 mod history_file;
 mod pipeline;
+mod plan;
 mod providers;
 mod registry;
 mod topology;
@@ -28,7 +33,10 @@ pub use bpu::{
     BpuConfig, BpuStats, BranchPredictorUnit, CommittedPacket, GhistRepairMode, PacketId,
 };
 pub use history_file::{HistoryFile, HistoryFileEntry};
-pub use pipeline::{PacketPrediction, PredictorPipeline, StageDescription, MAX_DEPTH};
+pub use pipeline::{
+    plan_env_enabled, PacketPrediction, PredictorPipeline, StageDescription, MAX_DEPTH,
+};
+pub use plan::{ComponentKind, ExecutionPlan};
 pub use providers::{GlobalHistoryProvider, LocalHistoryProvider, PathHistoryProvider};
 pub use registry::{ComponentRegistry, Design};
 pub use topology::Topology;

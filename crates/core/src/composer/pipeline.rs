@@ -16,10 +16,11 @@
 //! `d` cycles after query", including the natural carrying-forward of
 //! early predictions into later stages (Fig 4).
 
+use crate::composer::plan::{ComponentKind, ExecutionPlan, PlanScratch};
 use crate::composer::registry::{ComponentRegistry, Design};
 use crate::composer::topology::Topology;
-use crate::error::ComposeError;
-use crate::iface::{Component, FireEvent, HistoryView, PredictQuery, Response, UpdateEvent};
+use crate::error::{ComposeError, Span};
+use crate::iface::{FireEvent, HistoryView, PredictQuery, Response, UpdateEvent};
 use crate::obs::{PacketAttribution, MAX_TRACKED_COMPONENTS, NO_PROVIDER};
 use crate::types::{Meta, PredictionBundle, SlotPrediction, StorageReport};
 use cobra_sim::{SnapError, StateReader, StateWriter};
@@ -29,18 +30,38 @@ use cobra_sim::{SnapError, StateReader, StateWriter};
 pub const MAX_DEPTH: u8 = 8;
 
 struct Node {
-    component: Box<dyn Component>,
+    component: ComponentKind,
     inputs: Vec<usize>,
     label: String,
 }
 
-/// A compiled predictor pipeline: component nodes in dataflow order plus
+/// A compiled predictor pipeline: component nodes in dataflow order, the
+/// lowered [`ExecutionPlan`] driving the devirtualized packet path, and
 /// the stage-folding logic.
 pub struct PredictorPipeline {
     nodes: Vec<Node>,
     final_node: usize,
     depth: u8,
     width: u8,
+    plan: ExecutionPlan,
+    scratch: PlanScratch,
+    /// Plan path enabled (read from `COBRA_PLAN` at compile time;
+    /// [`force_plan`](Self::force_plan) overrides in-process).
+    plan_enabled: bool,
+    /// Per-node fast-reset fallbacks: `None` once a node armed its own
+    /// baseline, `Some(bytes)` holding the node's full serialized state
+    /// otherwise. Empty when unarmed.
+    node_baselines: Vec<Option<Vec<u8>>>,
+}
+
+/// `true` unless `COBRA_PLAN` is `off` / `0` / `interpreter`. Read at
+/// pipeline build time (not cached globally) so tests can flip the
+/// variable between runs.
+pub fn plan_env_enabled() -> bool {
+    !matches!(
+        std::env::var("COBRA_PLAN").as_deref(),
+        Ok("off") | Ok("0") | Ok("interpreter")
+    )
 }
 
 /// The full per-packet output of the pipeline: each node's raw response and
@@ -78,8 +99,27 @@ impl PredictorPipeline {
         registry: &ComponentRegistry,
         width: u8,
     ) -> Result<Self, ComposeError> {
+        Self::compile_spanned(topology, &[], registry, width)
+    }
+
+    /// [`compile`](Self::compile) with the component-name spans from
+    /// [`Topology::parse_spanned`], so an unknown name is reported with
+    /// its exact location in the topology text. `spans` is in textual
+    /// (`component_names`) order; pass `&[]` when no source text exists.
+    ///
+    /// # Errors
+    ///
+    /// As [`compile`](Self::compile).
+    pub fn compile_spanned(
+        topology: &Topology,
+        spans: &[Span],
+        registry: &ComponentRegistry,
+        width: u8,
+    ) -> Result<Self, ComposeError> {
         let mut nodes = Vec::new();
-        let final_node = Self::build_node(topology, registry, width, &mut nodes)?;
+        let mut cursor = 0usize;
+        let final_node =
+            Self::build_node(topology, spans, &mut cursor, registry, width, &mut nodes)?;
         let mut depth = 1;
         for n in &nodes {
             let lat = n.component.latency();
@@ -97,56 +137,79 @@ impl PredictorPipeline {
             }
             depth = depth.max(lat);
         }
+        let latencies: Vec<u8> = nodes.iter().map(|n| n.component.latency()).collect();
+        let custom: Vec<bool> = nodes.iter().map(|n| n.component.is_custom()).collect();
+        let plan = ExecutionPlan::lower(nodes.len(), depth, latencies, &custom, |i| {
+            nodes[i].inputs.clone()
+        });
         Ok(Self {
             nodes,
             final_node,
             depth,
             width,
+            plan,
+            scratch: PlanScratch::default(),
+            plan_enabled: plan_env_enabled(),
+            node_baselines: Vec::new(),
         })
     }
 
+    /// Builds the node array for `t`. `cursor` tracks the next unconsumed
+    /// entry of `spans` in *textual* order (the order
+    /// [`Topology::parse_spanned`] emits): a leaf consumes one span; `a > b`
+    /// consumes `a`'s span, then `b`'s subtree; an arbiter consumes the
+    /// selector's span, then each arm in source order.
     fn build_node(
         t: &Topology,
+        spans: &[Span],
+        cursor: &mut usize,
         registry: &ComponentRegistry,
         width: u8,
         nodes: &mut Vec<Node>,
     ) -> Result<usize, ComposeError> {
+        let next_span = |cursor: &mut usize| {
+            let s = spans.get(*cursor).copied();
+            *cursor += 1;
+            s
+        };
         match t {
-            Topology::Leaf(name) => Self::add_component(name, registry, width, vec![], nodes),
-            Topology::Over(a, b) => {
-                let below = Self::build_node(b, registry, width, nodes)?;
-                match &**a {
-                    Topology::Leaf(name) => {
-                        Self::add_component(name, registry, width, vec![below], nodes)
-                    }
-                    other => Err(ComposeError::Parse {
-                        reason: format!(
-                            "the left operand of `>` must be a single component, found `{other}`"
-                        ),
-                        span: crate::error::Span::point(0),
-                    }),
-                }
+            Topology::Leaf(name) => {
+                let span = next_span(cursor);
+                Self::add_component(name, span, registry, width, vec![], nodes)
             }
+            Topology::Over(a, b) => match &**a {
+                Topology::Leaf(name) => {
+                    let span = next_span(cursor);
+                    let below = Self::build_node(b, spans, cursor, registry, width, nodes)?;
+                    Self::add_component(name, span, registry, width, vec![below], nodes)
+                }
+                other => Err(ComposeError::Parse {
+                    reason: format!(
+                        "the left operand of `>` must be a single component, found `{other}`"
+                    ),
+                    span: crate::error::Span::point(0),
+                }),
+            },
             Topology::Arbiter { selector, inputs } => {
+                let span = next_span(cursor);
                 let mut ins = Vec::with_capacity(inputs.len());
                 for i in inputs {
-                    ins.push(Self::build_node(i, registry, width, nodes)?);
+                    ins.push(Self::build_node(i, spans, cursor, registry, width, nodes)?);
                 }
-                Self::add_component(selector, registry, width, ins, nodes)
+                Self::add_component(selector, span, registry, width, ins, nodes)
             }
         }
     }
 
     fn add_component(
         name: &str,
+        span: Option<Span>,
         registry: &ComponentRegistry,
         width: u8,
         inputs: Vec<usize>,
         nodes: &mut Vec<Node>,
     ) -> Result<usize, ComposeError> {
-        let component = registry
-            .build(name, width)
-            .ok_or_else(|| ComposeError::UnknownComponent { name: name.into() })?;
+        let component = registry.build(name, width, span)?;
         let arity = component.arity();
         let ok = if arity >= 2 {
             inputs.len() == arity
@@ -174,13 +237,31 @@ impl PredictorPipeline {
     ///
     /// Propagates parse and composition errors.
     pub fn from_design(design: &Design, width: u8) -> Result<Self, ComposeError> {
-        let topo = Topology::parse(&design.topology)?;
-        Self::compile(&topo, &design.registry, width)
+        let (topo, spans) = Topology::parse_spanned(&design.topology)?;
+        Self::compile_spanned(&topo, &spans, &design.registry, width)
     }
 
     /// Pipeline depth: the latency of the slowest component.
     pub fn depth(&self) -> u8 {
         self.depth
+    }
+
+    /// The lowered execution plan driving the devirtualized packet path.
+    pub fn plan(&self) -> &ExecutionPlan {
+        &self.plan
+    }
+
+    /// `true` when packets take the plan path (vs. the reference
+    /// interpreter fold).
+    pub fn plan_enabled(&self) -> bool {
+        self.plan_enabled
+    }
+
+    /// Overrides the `COBRA_PLAN` selection made at compile time — used by
+    /// in-process differential tests and benches to flip paths without
+    /// touching the environment.
+    pub fn force_plan(&mut self, enabled: bool) {
+        self.plan_enabled = enabled;
     }
 
     /// Fetch-packet width in slots.
@@ -290,10 +371,53 @@ impl PredictorPipeline {
         width: u8,
         hist: &HistoryView<'_>,
     ) -> PacketPrediction {
+        let mut out = PacketPrediction {
+            stages: Vec::new(),
+            metas: Vec::new(),
+            attr: crate::obs::PacketAttribution::EMPTY,
+        };
+        self.predict_packet_into(cycle, pc, width, hist, &mut out);
+        out
+    }
+
+    /// [`predict_packet_width`](Self::predict_packet_width) writing into an
+    /// existing `out`, reusing its `stages`/`metas` buffers — the steady
+    /// state predicts without allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds the pipeline's fetch width.
+    pub fn predict_packet_into(
+        &mut self,
+        cycle: u64,
+        pc: u64,
+        width: u8,
+        hist: &HistoryView<'_>,
+        out: &mut PacketPrediction,
+    ) {
         assert!(
             width >= 1 && width <= self.width,
             "packet width out of range"
         );
+        if self.plan_enabled {
+            self.predict_packet_plan(cycle, pc, width, hist, out);
+        } else {
+            self.predict_packet_interp(cycle, pc, width, hist, out);
+        }
+    }
+
+    /// The reference interpreter fold: every node composes at every stage
+    /// with freshly gathered inputs. Kept verbatim as the semantic ground
+    /// truth the plan path is differentially tested against
+    /// (`COBRA_PLAN=off`).
+    fn predict_packet_interp(
+        &mut self,
+        cycle: u64,
+        pc: u64,
+        width: u8,
+        hist: &HistoryView<'_>,
+        out: &mut PacketPrediction,
+    ) {
         let n = self.nodes.len();
         let mut responses: Vec<Response> = Vec::with_capacity(n);
         for node in &mut self.nodes {
@@ -306,8 +430,9 @@ impl PredictorPipeline {
             responses.push(node.component.predict(&q));
         }
 
-        let mut stages = Vec::with_capacity(self.depth as usize);
-        let mut metas = vec![Meta::ZERO; n];
+        out.stages.clear();
+        out.metas.clear();
+        out.metas.resize(n, Meta::ZERO);
         let mut meta_done = vec![false; n];
         let mut outs: Vec<PredictionBundle> = vec![PredictionBundle::new(width); n];
         for d in 1..=self.depth {
@@ -318,21 +443,104 @@ impl PredictorPipeline {
                 let own = (node.component.latency() <= d).then(|| &responses[i]);
                 outs[i] = node.component.compose(width, own, &inputs);
                 if node.component.latency() == d && !meta_done[i] {
-                    metas[i] = node.component.finalize_meta(&responses[i], &inputs);
+                    out.metas[i] = node.component.finalize_meta(&responses[i], &inputs);
                     meta_done[i] = true;
                 }
             }
-            stages.push(outs[self.final_node]);
+            out.stages.push(outs[self.final_node]);
             if crate::sanitize::enabled() && d >= 2 {
-                check_refinement(pc, d, &stages[d as usize - 2], &stages[d as usize - 1]);
+                check_refinement(
+                    pc,
+                    d,
+                    &out.stages[d as usize - 2],
+                    &out.stages[d as usize - 1],
+                );
             }
         }
-        let attr = attribute_final(&self.nodes, self.final_node, &responses, &outs, width);
-        PacketPrediction {
-            stages,
-            metas,
-            attr,
+        out.attr = attribute_final(&self.nodes, self.final_node, &responses, &outs, width);
+    }
+
+    /// The plan path: same fold, driven by the precomputed schedules with
+    /// reused scratch buffers. A node absent from a stage's schedule keeps
+    /// its prior-stage output — composition is pure, so the result is
+    /// byte-identical to the interpreter's.
+    fn predict_packet_plan(
+        &mut self,
+        cycle: u64,
+        pc: u64,
+        width: u8,
+        hist: &HistoryView<'_>,
+        out: &mut PacketPrediction,
+    ) {
+        let n = self.nodes.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.responses.clear();
+        for (i, node) in self.nodes.iter_mut().enumerate() {
+            let q = PredictQuery {
+                cycle,
+                pc,
+                width,
+                hist: self.plan.wants_hist[i].then_some(*hist),
+            };
+            scratch.responses.push(node.component.predict(&q));
         }
+
+        out.stages.clear();
+        out.metas.clear();
+        out.metas.resize(n, Meta::ZERO);
+        // Stage 1 schedules every node in dataflow order, so each `outs`
+        // entry is overwritten before any consumer reads it — the buffer
+        // only needs (re)initialization when the node count changes.
+        if scratch.outs.len() != n {
+            scratch.outs.clear();
+            scratch.outs.resize(n, PredictionBundle::new(width));
+        }
+        for d in 1..=self.depth {
+            for &iu in self.plan.schedule(d) {
+                let i = iu as usize;
+                let (lo, hi) = self.plan.input_range[i];
+                let node = &self.nodes[i];
+                let lat = self.plan.latency[i];
+                let own = (lat <= d).then(|| &scratch.responses[i]);
+                // Arity 0/1 nodes (the common case) borrow their input
+                // straight out of `outs`; only arbiters pay a gather copy.
+                let inputs: &[PredictionBundle] = match hi - lo {
+                    0 => &[],
+                    1 => std::slice::from_ref(
+                        &scratch.outs[self.plan.input_ix[lo as usize] as usize],
+                    ),
+                    _ => {
+                        scratch.inputs_buf.clear();
+                        for &j in &self.plan.input_ix[lo as usize..hi as usize] {
+                            scratch.inputs_buf.push(scratch.outs[j as usize]);
+                        }
+                        &scratch.inputs_buf
+                    }
+                };
+                let composed = node.component.compose(width, own, inputs);
+                if lat == d {
+                    out.metas[i] = node.component.finalize_meta(&scratch.responses[i], inputs);
+                }
+                scratch.outs[i] = composed;
+            }
+            out.stages.push(scratch.outs[self.final_node]);
+            if crate::sanitize::enabled() && d >= 2 {
+                check_refinement(
+                    pc,
+                    d,
+                    &out.stages[d as usize - 2],
+                    &out.stages[d as usize - 1],
+                );
+            }
+        }
+        out.attr = attribute_final(
+            &self.nodes,
+            self.final_node,
+            &scratch.responses,
+            &scratch.outs,
+            width,
+        );
+        self.scratch = scratch;
     }
 
     /// Broadcasts a `fire` event; each component receives its own metadata.
@@ -408,10 +616,74 @@ impl PredictorPipeline {
     /// Returns a [`SnapError`] when a section name does not match this
     /// pipeline's node order or a component rejects its payload.
     pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
+        // A full restore replaces component state wholesale; any armed
+        // baseline would describe state that no longer exists.
+        self.node_baselines.clear();
         for node in &mut self.nodes {
             r.open_section(&node.label)?;
             node.component.load_state(r)?;
             r.close_section()?;
+        }
+        Ok(())
+    }
+
+    /// Arms every component's current state as a fast-reset baseline.
+    ///
+    /// Components supporting dirty-state resets
+    /// ([`Component::arm_baseline`](crate::Component::arm_baseline)) arm
+    /// in place; the rest fall back to a one-time full serialization that
+    /// [`reset_to_baseline`](Self::reset_to_baseline) replays.
+    pub fn arm_baseline(&mut self) {
+        self.node_baselines = self
+            .nodes
+            .iter_mut()
+            .map(|node| {
+                if node.component.arm_baseline() {
+                    None
+                } else {
+                    let mut w = StateWriter::new();
+                    w.begin_section(&node.label);
+                    node.component.save_state(&mut w);
+                    w.end_section();
+                    Some(w.finish())
+                }
+            })
+            .collect();
+    }
+
+    /// `true` when [`arm_baseline`](Self::arm_baseline) has been called
+    /// (and no full restore has disarmed it since).
+    pub fn baseline_armed(&self) -> bool {
+        self.node_baselines.len() == self.nodes.len()
+    }
+
+    /// Restores every component to the armed baseline — dirty-state reset
+    /// where supported, full deserialize otherwise. The baseline stays
+    /// armed for the next rerun.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if a fallback payload fails to decode
+    /// (impossible unless a component's save/load pair is asymmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no baseline is armed.
+    pub fn reset_to_baseline(&mut self) -> Result<(), SnapError> {
+        assert!(
+            self.baseline_armed(),
+            "reset_to_baseline without an armed baseline"
+        );
+        for (node, fallback) in self.nodes.iter_mut().zip(&self.node_baselines) {
+            match fallback {
+                None => node.component.reset_baseline(),
+                Some(bytes) => {
+                    let mut r = StateReader::new(bytes);
+                    r.open_section(&node.label)?;
+                    node.component.load_state(&mut r)?;
+                    r.close_section()?;
+                }
+            }
         }
         Ok(())
     }
@@ -441,7 +713,7 @@ fn check_refinement(pc: u64, stage: u8, prev: &PredictionBundle, cur: &Predictio
         let c = cur.slot(i);
         let dropped = (p.kind.is_some() && c.kind.is_none())
             || (p.taken.is_some() && c.taken.is_none())
-            || (p.target.is_some() && c.target.is_none());
+            || (p.target().is_some() && c.target().is_none());
         if dropped {
             crate::sanitize::violation(&format!(
                 "monotonic refinement violated at pc {pc:#x} slot {i}: stage {} predicted \
@@ -459,7 +731,7 @@ fn field_val(sp: &SlotPrediction, f: usize) -> Option<u64> {
     match f {
         0 => sp.kind.map(|k| k as u64),
         1 => sp.taken.map(u64::from),
-        _ => sp.target,
+        _ => sp.target(),
     }
 }
 
@@ -540,7 +812,7 @@ fn attribute_final(
             if sp.taken.is_some() {
                 attr.proposed_taken[i] |= 1 << s;
             }
-            if sp.target.is_some() {
+            if sp.target().is_some() {
                 attr.proposed_target[i] |= 1 << s;
             }
         }
@@ -667,9 +939,13 @@ mod tests {
         };
         p.update(&ev, &out.metas);
         let out = p.predict_packet(1, 0x1000, &hist);
-        assert_eq!(out.stages[0].slot(0).target, Some(0x2000), "uBTB hit at F1");
         assert_eq!(
-            out.stages[1].slot(0).target,
+            out.stages[0].slot(0).target(),
+            Some(0x2000),
+            "uBTB hit at F1"
+        );
+        assert_eq!(
+            out.stages[1].slot(0).target(),
             Some(0x2000),
             "carried into F2"
         );

@@ -46,6 +46,12 @@ impl GlobalHistoryProvider {
         self.spec.snapshot()
     }
 
+    /// Takes a snapshot into `out`, reusing its buffer when possible (see
+    /// [`HistoryRegister::snapshot_into`](cobra_sim::HistoryRegister::snapshot_into)).
+    pub fn snapshot_into(&self, out: &mut HistorySnapshot) {
+        self.spec.snapshot_into(out);
+    }
+
     /// Speculatively pushes predicted branch outcomes (oldest first).
     pub fn speculate(&mut self, outcomes: impl IntoIterator<Item = bool>) {
         self.spec.push_all(outcomes);

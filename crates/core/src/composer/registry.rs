@@ -1,10 +1,12 @@
 //! Component factories and packaged designs.
 
+use crate::composer::plan::ComponentKind;
+use crate::error::{ComposeError, Span};
 use crate::iface::Component;
 use std::collections::HashMap;
 use std::fmt;
 
-type Factory = Box<dyn Fn(u8) -> Box<dyn Component> + Send + Sync>;
+type Factory = Box<dyn Fn(u8) -> ComponentKind + Send + Sync>;
 
 /// Maps topology component names (e.g. `"TAGE3"`) to factories that build
 /// the corresponding sub-component for a given fetch width.
@@ -13,6 +15,12 @@ type Factory = Box<dyn Fn(u8) -> Box<dyn Component> + Send + Sync>;
 /// parameterization: the same topology string elaborates differently under
 /// different registries, mirroring how the paper's Chisel composer is
 /// driven by constructed `Module` instances (Fig 5).
+///
+/// Stock components registered through [`register_kind`](Self::register_kind)
+/// elaborate to monomorphized [`ComponentKind`] variants and take the
+/// devirtualized packet path; boxed components registered through
+/// [`register`](Self::register) ride the [`ComponentKind::Custom`] escape
+/// variant with identical semantics.
 #[derive(Default)]
 pub struct ComponentRegistry {
     factories: HashMap<String, Factory>,
@@ -24,21 +32,58 @@ impl ComponentRegistry {
         Self::default()
     }
 
-    /// Registers a factory under `name`. Re-registering a name replaces the
-    /// previous factory.
+    /// Registers a boxed-component factory under `name`. Re-registering a
+    /// name replaces the previous factory.
+    ///
+    /// The component elaborates as [`ComponentKind::Custom`]; stock
+    /// components should prefer [`register_kind`](Self::register_kind) so
+    /// the packet path dispatches on the enum instead of a vtable.
     pub fn register(
         &mut self,
         name: impl Into<String>,
         factory: impl Fn(u8) -> Box<dyn Component> + Send + Sync + 'static,
+    ) -> &mut Self {
+        self.factories.insert(
+            name.into(),
+            Box::new(move |w| ComponentKind::Custom(factory(w))),
+        );
+        self
+    }
+
+    /// Registers a monomorphized factory under `name` (e.g.
+    /// `|w| Hbim::new(cfg(w)).into()`). Re-registering a name replaces the
+    /// previous factory.
+    pub fn register_kind(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn(u8) -> ComponentKind + Send + Sync + 'static,
     ) -> &mut Self {
         self.factories.insert(name.into(), Box::new(factory));
         self
     }
 
     /// Builds the component registered under `name` for `width`-slot
-    /// packets, or `None` if the name is unknown.
-    pub fn build(&self, name: &str, width: u8) -> Option<Box<dyn Component>> {
-        self.factories.get(name).map(|f| f(width))
+    /// packets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ComposeError::UnknownComponent`] carrying `name` and
+    /// `span` (the name's location in the topology text, when the caller
+    /// has one) if nothing is registered under `name` — the same
+    /// diagnostic shape the parser and analyzer produce.
+    pub fn build(
+        &self,
+        name: &str,
+        width: u8,
+        span: Option<Span>,
+    ) -> Result<ComponentKind, ComposeError> {
+        self.factories
+            .get(name)
+            .map(|f| f(width))
+            .ok_or_else(|| ComposeError::UnknownComponent {
+                name: name.into(),
+                span,
+            })
     }
 
     /// Registered names, unordered.
@@ -102,29 +147,49 @@ mod tests {
 
     fn registry_with_bim() -> ComponentRegistry {
         let mut r = ComponentRegistry::new();
-        r.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(1024, w))));
+        r.register_kind("BIM2", |w| Hbim::new(HbimConfig::bim(1024, w)).into());
         r
     }
 
     #[test]
     fn builds_registered_component() {
         let r = registry_with_bim();
-        let c = r.build("BIM2", 4).expect("registered");
+        let c = r.build("BIM2", 4, None).expect("registered");
         assert_eq!(c.kind(), "bim");
         assert_eq!(c.latency(), 2);
+        assert!(!c.is_custom());
     }
 
     #[test]
-    fn unknown_name_is_none() {
+    fn unknown_name_is_precise_error() {
         let r = registry_with_bim();
-        assert!(r.build("NOPE", 4).is_none());
+        let span = Span::new(3, 7);
+        let e = r.build("NOPE", 4, Some(span)).unwrap_err();
+        match &e {
+            ComposeError::UnknownComponent { name, span: s } => {
+                assert_eq!(name, "NOPE");
+                assert_eq!(*s, Some(span));
+            }
+            other => panic!("wrong error: {other:?}"),
+        }
+        assert_eq!(e.span(), Some(span));
+        assert_eq!(e.to_string(), "unknown component name `NOPE`");
+    }
+
+    #[test]
+    fn boxed_register_is_custom() {
+        let mut r = ComponentRegistry::new();
+        r.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(1024, w))));
+        let c = r.build("BIM2", 4, None).unwrap();
+        assert!(c.is_custom());
+        assert_eq!(c.kind(), "bim");
     }
 
     #[test]
     fn reregistering_replaces() {
         let mut r = registry_with_bim();
-        r.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(4096, w))));
-        let c = r.build("BIM2", 4).unwrap();
+        r.register_kind("BIM2", |w| Hbim::new(HbimConfig::bim(4096, w)).into());
+        let c = r.build("BIM2", 4, None).unwrap();
         assert_eq!(c.storage().total_bits(), 4096 * 2);
         assert_eq!(r.len(), 1);
     }

@@ -26,30 +26,30 @@ pub fn tournament() -> Design {
     let mut registry = ComponentRegistry::new();
     // Alpha-style: the global table is indexed by the history register
     // alone — the untagged indexing whose aliasing Section V-B calls out.
-    registry.register("GBIM2", |w| {
-        Box::new(Hbim::new(HbimConfig {
+    registry.register_kind("GBIM2", |w| {
+        Hbim::new(HbimConfig {
             entries: 16384,
             counter_bits: 2,
             index: IndexScheme::GlobalHistory { bits: 14 },
             latency: 2,
             width: w,
             superscalar: true,
-        }))
+        })
+        .into()
     });
-    registry.register("LBIM2", |w| {
-        Box::new(Hbim::new(HbimConfig {
+    registry.register_kind("LBIM2", |w| {
+        Hbim::new(HbimConfig {
             entries: 1024,
             counter_bits: 2,
             index: IndexScheme::LocalHistory { bits: 32 },
             latency: 2,
             width: w,
             superscalar: true,
-        }))
+        })
+        .into()
     });
-    registry.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
-    registry.register("TOURNEY3", |w| {
-        Box::new(Tourney::new(TourneyConfig::paper(w)))
-    });
+    registry.register_kind("BTB2", |w| Btb::new(BtbConfig::large(w)).into());
+    registry.register_kind("TOURNEY3", |w| Tourney::new(TourneyConfig::paper(w)).into());
     Design {
         name: "Tournament".into(),
         topology: "TOURNEY3 > [GBIM2 > BTB2, LBIM2]".into(),
@@ -66,9 +66,9 @@ pub fn tournament() -> Design {
 /// counters, and a 2K-entry BTB.
 pub fn b2() -> Design {
     let mut registry = ComponentRegistry::new();
-    registry.register("GTAG3", |w| Box::new(Gtag::new(GtagConfig::b2(w))));
-    registry.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
-    registry.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(16384, w))));
+    registry.register_kind("GTAG3", |w| Gtag::new(GtagConfig::b2(w)).into());
+    registry.register_kind("BTB2", |w| Btb::new(BtbConfig::large(w)).into());
+    registry.register_kind("BIM2", |w| Hbim::new(HbimConfig::bim(16384, w)).into());
     Design {
         name: "B2".into(),
         topology: "GTAG3 > BTB2 > BIM2".into(),
@@ -86,15 +86,11 @@ pub fn b2() -> Design {
 /// 32-entry uBTB, and a 256-entry loop predictor.
 pub fn tage_l() -> Design {
     let mut registry = ComponentRegistry::new();
-    registry.register("LOOP3", |w| {
-        Box::new(LoopPredictor::new(LoopConfig::paper(w)))
-    });
-    registry.register("TAGE3", |w| Box::new(Tage::new(TageConfig::paper(w))));
-    registry.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
-    registry.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(4096, w))));
-    registry.register("UBTB1", |w| {
-        Box::new(MicroBtb::new(MicroBtbConfig::small(w)))
-    });
+    registry.register_kind("LOOP3", |w| LoopPredictor::new(LoopConfig::paper(w)).into());
+    registry.register_kind("TAGE3", |w| Tage::new(TageConfig::paper(w)).into());
+    registry.register_kind("BTB2", |w| Btb::new(BtbConfig::large(w)).into());
+    registry.register_kind("BIM2", |w| Hbim::new(HbimConfig::bim(4096, w)).into());
+    registry.register_kind("UBTB1", |w| MicroBtb::new(MicroBtbConfig::small(w)).into());
     Design {
         name: "TAGE-L".into(),
         topology: "LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1".into(),
@@ -109,10 +105,10 @@ pub fn tage_l() -> Design {
 /// arbitration).
 pub fn tage_l_with_latency(tage_latency: u8) -> Design {
     let mut d = tage_l();
-    d.registry.register("TAGE3", move |w| {
+    d.registry.register_kind("TAGE3", move |w| {
         let mut t = Tage::new(TageConfig::paper(w));
         t.set_latency(tage_latency);
-        Box::new(t)
+        t.into()
     });
     d.name = format!("TAGE-L/lat{tage_latency}");
     d
@@ -123,8 +119,8 @@ pub fn tage_l_with_latency(tage_latency: u8) -> Design {
 pub fn tage_sc_l() -> Design {
     use crate::components::{CorrectorConfig, StatisticalCorrector};
     let mut d = tage_l();
-    d.registry.register("SC3", |w| {
-        Box::new(StatisticalCorrector::new(CorrectorConfig::small(w)))
+    d.registry.register_kind("SC3", |w| {
+        StatisticalCorrector::new(CorrectorConfig::small(w)).into()
     });
     d.topology = "LOOP3 > SC3 > TAGE3 > BTB2 > BIM2 > UBTB1".into();
     d.name = "TAGE-SC-L".into();
@@ -139,7 +135,7 @@ pub fn tage_l_it() -> Design {
     use crate::components::{Ittage, IttageConfig};
     let mut d = tage_l();
     d.registry
-        .register("ITTAGE3", |w| Box::new(Ittage::new(IttageConfig::small(w))));
+        .register_kind("ITTAGE3", |w| Ittage::new(IttageConfig::small(w)).into());
     d.topology = "ITTAGE3 > LOOP3 > TAGE3 > BTB2 > BIM2 > UBTB1".into();
     d.name = "TAGE-L+IT".into();
     d
@@ -150,11 +146,11 @@ pub fn tage_l_it() -> Design {
 pub fn perceptron() -> Design {
     use crate::components::{Perceptron, PerceptronConfig};
     let mut registry = ComponentRegistry::new();
-    registry.register("PERC3", |w| {
-        Box::new(Perceptron::new(PerceptronConfig::default_size(w)))
+    registry.register_kind("PERC3", |w| {
+        Perceptron::new(PerceptronConfig::default_size(w)).into()
     });
-    registry.register("BTB2", |w| Box::new(Btb::new(BtbConfig::large(w))));
-    registry.register("BIM2", |w| Box::new(Hbim::new(HbimConfig::bim(16384, w))));
+    registry.register_kind("BTB2", |w| Btb::new(BtbConfig::large(w)).into());
+    registry.register_kind("BIM2", |w| Hbim::new(HbimConfig::bim(16384, w)).into());
     Design {
         name: "Perceptron".into(),
         topology: "PERC3 > BTB2 > BIM2".into(),
@@ -204,11 +200,11 @@ pub fn stock_registry() -> ComponentRegistry {
                 // its stock parameterization.
                 let label = n.clone();
                 let dname = d.name.clone();
-                registry.register(n, move |w| {
+                registry.register_kind(n, move |w| {
                     by_name(&dname)
                         .expect("catalog design exists")
                         .registry
-                        .build(&label, w)
+                        .build(&label, w, None)
                         .expect("label came from this registry")
                 });
             }

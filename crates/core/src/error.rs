@@ -70,6 +70,11 @@ pub enum ComposeError {
     UnknownComponent {
         /// The unresolved name, e.g. `"FOO3"`.
         name: String,
+        /// Byte range of the name in the topology text, when known (the
+        /// composer always supplies it; direct
+        /// [`ComponentRegistry::build`](crate::composer::ComponentRegistry::build)
+        /// callers may not have one).
+        span: Option<Span>,
     },
     /// An arbitration component was given the wrong number of inputs.
     ArityMismatch {
@@ -117,6 +122,7 @@ impl ComposeError {
     pub fn span(&self) -> Option<Span> {
         match self {
             ComposeError::Parse { span, .. } => Some(*span),
+            ComposeError::UnknownComponent { span, .. } => *span,
             ComposeError::Analysis { diagnostics } => diagnostics.iter().find_map(|d| d.span),
             _ => None,
         }
@@ -129,7 +135,7 @@ impl fmt::Display for ComposeError {
             ComposeError::Parse { reason, span } => {
                 write!(f, "topology parse error at {span}: {reason}")
             }
-            ComposeError::UnknownComponent { name } => {
+            ComposeError::UnknownComponent { name, .. } => {
                 write!(f, "unknown component name `{name}`")
             }
             ComposeError::ArityMismatch {
@@ -177,6 +183,7 @@ mod tests {
     fn display_messages_are_lowercase_and_concise() {
         let e = ComposeError::UnknownComponent {
             name: "FOO3".into(),
+            span: None,
         };
         assert_eq!(e.to_string(), "unknown component name `FOO3`");
         let e = ComposeError::ArityMismatch {
@@ -195,6 +202,16 @@ mod tests {
         };
         assert!(e.to_string().contains("4..5"));
         assert_eq!(e.span(), Some(Span::new(4, 5)));
+    }
+
+    #[test]
+    fn unknown_component_carries_span() {
+        let e = ComposeError::UnknownComponent {
+            name: "FOO3".into(),
+            span: Some(Span::new(7, 11)),
+        };
+        assert_eq!(e.span(), Some(Span::new(7, 11)));
+        assert_eq!(e.to_string(), "unknown component name `FOO3`");
     }
 
     #[test]

@@ -139,7 +139,7 @@ impl PacketAttribution {
         let carried = |f| match f {
             DecisionField::Kind => sp.kind.is_some(),
             DecisionField::Taken => sp.taken.is_some(),
-            DecisionField::Target => sp.target.is_some(),
+            DecisionField::Target => sp.target().is_some(),
         };
         let order = [
             preferred,
@@ -645,7 +645,7 @@ mod tests {
         let mut b = PredictionBundle::new(4);
         b.slot_mut(0).kind = Some(BranchKind::Conditional);
         b.slot_mut(0).taken = Some(true);
-        b.slot_mut(0).target = Some(0x40);
+        b.slot_mut(0).set_target(Some(0x40));
         b
     }
 

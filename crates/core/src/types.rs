@@ -108,14 +108,42 @@ pub struct SlotPrediction {
     pub kind: Option<BranchKind>,
     /// Predicted direction for a conditional branch.
     pub taken: Option<bool>,
-    /// Predicted target address, if this slot redirects.
-    pub target: Option<u64>,
+    // The target is stored packed (validity bit + bits) rather than as an
+    // `Option<u64>`: the option's discriminant would pad the struct from
+    // 16 to 24 bytes, and `PredictionBundle` copies are the single largest
+    // memory-traffic source on the packet hot path. `target_bits` is kept
+    // normalized to 0 whenever `has_target` is false so the derived
+    // equality matches option semantics.
+    has_target: bool,
+    target_bits: u64,
 }
 
 impl SlotPrediction {
+    /// A slot with the given fields (the struct-literal form this type had
+    /// when `target` was a public `Option<u64>` field).
+    pub fn new(kind: Option<BranchKind>, taken: Option<bool>, target: Option<u64>) -> Self {
+        Self {
+            kind,
+            taken,
+            has_target: target.is_some(),
+            target_bits: target.unwrap_or(0),
+        }
+    }
+
+    /// Predicted target address, if this slot redirects.
+    pub fn target(&self) -> Option<u64> {
+        self.has_target.then_some(self.target_bits)
+    }
+
+    /// Sets (or clears) the predicted target address.
+    pub fn set_target(&mut self, target: Option<u64>) {
+        self.has_target = target.is_some();
+        self.target_bits = target.unwrap_or(0);
+    }
+
     /// `true` if no component has predicted anything for this slot.
     pub fn is_empty(&self) -> bool {
-        self.kind.is_none() && self.taken.is_none() && self.target.is_none()
+        self.kind.is_none() && self.taken.is_none() && !self.has_target
     }
 
     /// Overlays `other`'s provided fields on top of `self` (field-wise
@@ -124,7 +152,12 @@ impl SlotPrediction {
         SlotPrediction {
             kind: other.kind.or(self.kind),
             taken: other.taken.or(self.taken),
-            target: other.target.or(self.target),
+            has_target: other.has_target || self.has_target,
+            target_bits: if other.has_target {
+                other.target_bits
+            } else {
+                self.target_bits
+            },
         }
     }
 
@@ -149,8 +182,8 @@ impl SlotPrediction {
             Some(false) => 1,
             Some(true) => 2,
         });
-        w.write_bool(self.target.is_some());
-        w.write_u64(self.target.unwrap_or(0));
+        w.write_bool(self.has_target);
+        w.write_u64(self.target_bits);
     }
 
     /// Decodes a slot written by [`save_state`](Self::save_state).
@@ -167,11 +200,7 @@ impl SlotPrediction {
         };
         let has_target = r.read_bool("slot has target")?;
         let target = r.read_u64("slot target")?;
-        Ok(Self {
-            kind,
-            taken,
-            target: has_target.then_some(target),
-        })
+        Ok(Self::new(kind, taken, has_target.then_some(target)))
     }
 }
 
@@ -186,7 +215,7 @@ impl SlotPrediction {
 /// let mut b = PredictionBundle::new(4);
 /// b.slot_mut(1).kind = Some(BranchKind::Conditional);
 /// b.slot_mut(1).taken = Some(true);
-/// b.slot_mut(1).target = Some(0x8000_0000);
+/// b.slot_mut(1).set_target(Some(0x8000_0000));
 /// assert_eq!(b.redirect(), Some((1, 0x8000_0000)));
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -267,7 +296,7 @@ impl PredictionBundle {
     pub fn redirect(&self) -> Option<(usize, u64)> {
         self.iter().enumerate().find_map(|(i, s)| {
             if s.wants_redirect() {
-                s.target.map(|t| (i, t))
+                s.target().map(|t| (i, t))
             } else {
                 None
             }
@@ -414,41 +443,25 @@ mod tests {
     use super::*;
 
     fn taken_slot(target: u64) -> SlotPrediction {
-        SlotPrediction {
-            kind: Some(BranchKind::Conditional),
-            taken: Some(true),
-            target: Some(target),
-        }
+        SlotPrediction::new(Some(BranchKind::Conditional), Some(true), Some(target))
     }
 
     #[test]
     fn override_fills_missing_fields() {
-        let base = SlotPrediction {
-            kind: Some(BranchKind::Conditional),
-            taken: Some(true),
-            target: None,
-        };
-        let btb = SlotPrediction {
-            kind: None,
-            taken: None,
-            target: Some(0x100),
-        };
+        let base = SlotPrediction::new(Some(BranchKind::Conditional), Some(true), None);
+        let btb = SlotPrediction::new(None, None, Some(0x100));
         let merged = base.overridden_by(&btb);
         assert_eq!(merged.taken, Some(true));
-        assert_eq!(merged.target, Some(0x100));
+        assert_eq!(merged.target(), Some(0x100));
     }
 
     #[test]
     fn override_replaces_fields() {
         let base = taken_slot(0x100);
-        let stronger = SlotPrediction {
-            kind: None,
-            taken: Some(false),
-            target: None,
-        };
+        let stronger = SlotPrediction::new(None, Some(false), None);
         let merged = base.overridden_by(&stronger);
         assert_eq!(merged.taken, Some(false));
-        assert_eq!(merged.target, Some(0x100));
+        assert_eq!(merged.target(), Some(0x100));
     }
 
     #[test]
@@ -472,7 +485,7 @@ mod tests {
     fn unconditional_jump_redirects_regardless_of_direction() {
         let mut b = PredictionBundle::new(4);
         b.slot_mut(0).kind = Some(BranchKind::Jump);
-        b.slot_mut(0).target = Some(0x40);
+        b.slot_mut(0).set_target(Some(0x40));
         assert_eq!(b.redirect(), Some((0, 0x40)));
     }
 
@@ -511,7 +524,7 @@ mod tests {
         *over.slot_mut(1) = taken_slot(0x20);
         let merged = base.overridden_by(&over);
         assert_eq!(merged.slot(0).taken, Some(false));
-        assert_eq!(merged.slot(0).target, Some(0x10));
+        assert_eq!(merged.slot(0).target(), Some(0x10));
         assert_eq!(merged.redirect(), Some((1, 0x20)));
     }
 

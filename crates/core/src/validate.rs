@@ -94,7 +94,8 @@ fn random_bundle(rng: &mut SplitMix64, width: u8) -> PredictionBundle {
             b.slot_mut(i).kind = Some(crate::types::BranchKind::Conditional);
             b.slot_mut(i).taken = Some(rng.chance(0.5));
             if rng.chance(0.7) {
-                b.slot_mut(i).target = Some(0x1_0000 + rng.below(1 << 20) * 2);
+                b.slot_mut(i)
+                    .set_target(Some(0x1_0000 + rng.below(1 << 20) * 2));
             }
         }
     }

@@ -180,6 +180,17 @@ impl HistoryRegister {
         }
     }
 
+    /// Saves the register contents into an existing snapshot, reusing its
+    /// word buffer when the widths match — the per-packet fast path that
+    /// avoids one heap allocation per prediction.
+    pub fn snapshot_into(&self, out: &mut HistorySnapshot) {
+        if out.words.len() == self.words.len() {
+            out.words.copy_from_slice(&self.words);
+        } else {
+            *out = self.snapshot();
+        }
+    }
+
     /// Restores a snapshot taken from a register of the same width.
     ///
     /// # Panics

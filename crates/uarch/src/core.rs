@@ -270,6 +270,13 @@ pub struct Core<S> {
     on_wrong_path: bool,
     lookahead: Option<DynInst>,
     stream_done: bool,
+    /// Block-batched read-ahead: instructions pulled from the stream in
+    /// chunks so per-instruction fetch pays an index + bounds check rather
+    /// than a full stream cursor walk. Never serialized — `stream_reads`
+    /// counts only *consumed* instructions, so a restore repositions the
+    /// fresh stream exactly at the first unconsumed one.
+    inst_buf: Vec<DynInst>,
+    inst_pos: usize,
     /// Total `next_inst` calls made on the stream — the workload cursor.
     /// A checkpoint restore replays this many reads against a fresh
     /// deterministic stream to reposition it.
@@ -287,14 +294,28 @@ pub struct Core<S> {
     committed_before: u64,
     last_commit_cycle: u64,
 
+    // Issue-scan fast path: every ROB entry at an index below this is
+    // already issued, so the per-cycle scan starts here instead of at the
+    // head. Maintained on commit (pop_front), squash (truncation), and
+    // state load; purely a scan hint — it never changes issue decisions.
+    issue_skip: usize,
+
     // Per-cycle scratch buffers, kept across cycles to avoid reallocating
     // on the hot path.
     issue_scratch: Vec<usize>,
     due_scratch: Vec<(PacketId, SlotResolution, Option<MispredictKind>, u64)>,
     uop_scratch: Vec<MicroOp>,
+
+    /// Serialized host state (everything but the BPU and the stream)
+    /// captured by [`arm_baseline`](Self::arm_baseline).
+    host_baseline: Option<Vec<u8>>,
 }
 
 const COMPLETION_RING: usize = 512;
+
+/// Instructions pulled per [`InstructionStream::next_block`] call — a few
+/// hundred fetch packets' worth, small enough to stay cache-resident.
+const FETCH_BATCH: usize = 4096;
 
 impl<S: InstructionStream> Core<S> {
     /// Builds a core around `design` running `stream`.
@@ -322,6 +343,8 @@ impl<S: InstructionStream> Core<S> {
             on_wrong_path: false,
             lookahead: None,
             stream_done: false,
+            inst_buf: Vec::new(),
+            inst_pos: 0,
             stream_reads: 0,
             rob: VecDeque::new(),
             next_seq: 0,
@@ -330,9 +353,11 @@ impl<S: InstructionStream> Core<S> {
             pending_resolves: Vec::new(),
             committed_before: 0,
             last_commit_cycle: 0,
+            issue_skip: 0,
             issue_scratch: Vec::new(),
             due_scratch: Vec::new(),
             uop_scratch: Vec::new(),
+            host_baseline: None,
             cfg,
         })
     }
@@ -389,9 +414,16 @@ impl<S: InstructionStream> Core<S> {
 
     fn peek_inst(&mut self) -> Option<&DynInst> {
         if self.lookahead.is_none() && !self.stream_done {
-            self.lookahead = self.stream.next_inst();
-            self.stream_reads += 1;
-            if self.lookahead.is_none() {
+            if self.inst_pos == self.inst_buf.len() {
+                self.inst_buf.clear();
+                self.inst_pos = 0;
+                self.stream.next_block(&mut self.inst_buf, FETCH_BATCH);
+            }
+            if self.inst_pos < self.inst_buf.len() {
+                self.lookahead = Some(self.inst_buf[self.inst_pos]);
+                self.inst_pos += 1;
+                self.stream_reads += 1;
+            } else {
                 self.stream_done = true;
             }
         }
@@ -490,6 +522,7 @@ impl<S: InstructionStream> Core<S> {
                 break;
             }
             let entry = self.rob.pop_front().expect("front exists");
+            self.issue_skip = self.issue_skip.saturating_sub(1);
             debug_assert!(
                 !entry.uop.wrong_path,
                 "wrong-path op at commit: cycle {} token {} slot {} op {:?} cfi {:?} misp {:?} on_wrong_path {} expected_pc {:#x}",
@@ -559,7 +592,14 @@ impl<S: InstructionStream> Core<S> {
         let mut examined = 0;
         let mut to_issue = std::mem::take(&mut self.issue_scratch);
         to_issue.clear();
-        for (i, e) in self.rob.iter().enumerate() {
+        // Skip the already-issued head of the ROB (committed-but-waiting
+        // entries); `issue_skip` conservatively under-counts, so the
+        // `issued` check below still guards every examined entry.
+        while self.rob.get(self.issue_skip).is_some_and(|e| e.issued) {
+            self.issue_skip += 1;
+        }
+        for (k, e) in self.rob.range(self.issue_skip..).enumerate() {
+            let i = self.issue_skip + k;
             if examined >= self.cfg.issue_window || (alu == 0 && mem == 0 && fp == 0) {
                 break;
             }
@@ -663,6 +703,7 @@ impl<S: InstructionStream> Core<S> {
                 info.remaining = info.remaining.saturating_sub(1);
             }
         }
+        self.issue_skip = self.issue_skip.min(self.rob.len());
         for uop in self.fetch_buffer.drain(..) {
             if let Some(info) = self.tokens.get_mut(uop.token) {
                 info.remaining = info.remaining.saturating_sub(1);
@@ -695,7 +736,14 @@ impl<S: InstructionStream> Core<S> {
         // Trim the mispredicted token's own count to what survives in the
         // ROB (its post-branch slots were flushed).
         if let Some(info) = self.tokens.get_mut(token) {
-            let live = self.rob.iter().filter(|e| e.uop.token == token).count() as u32;
+            // Everything younger than the branch was just popped, so the
+            // token's surviving slots are exactly the ROB's back suffix.
+            let live = self
+                .rob
+                .iter()
+                .rev()
+                .take_while(|e| e.uop.token == token)
+                .count() as u32;
             info.remaining = live;
         }
 
@@ -753,12 +801,15 @@ impl<S: InstructionStream> Core<S> {
             if f.stage < 2 {
                 continue;
             }
-            let Some(new) = self.bpu.prediction(f.id, f.stage).copied() else {
+            let Some(new) = self.bpu.prediction(f.id, f.stage) else {
                 continue;
             };
-            if new == f.used {
+            // Compare in place: the prediction is unchanged on almost every
+            // cycle, and the stable case should not pay a bundle copy.
+            if *new == f.used {
                 continue;
             }
+            let new = *new;
             let old_next = self.packet_next_pc(f.pc, f.width, &f.used);
             let new_next = self.packet_next_pc(f.pc, f.width, &new);
             if new_next != old_next {
@@ -950,7 +1001,7 @@ impl<S: InstructionStream> Core<S> {
                     None => {
                         sp.kind = None;
                         sp.taken = None;
-                        sp.target = None;
+                        sp.set_target(None);
                     }
                     Some(kind) => {
                         sp.kind = Some(kind);
@@ -958,11 +1009,11 @@ impl<S: InstructionStream> Core<S> {
                             BranchKind::Conditional | BranchKind::Jump | BranchKind::Call => {
                                 // Direct targets are computable at predecode.
                                 if let Some(t) = truth.target {
-                                    sp.target = Some(t);
+                                    sp.set_target(Some(t));
                                 }
                             }
                             BranchKind::Ret => {
-                                sp.target = Some(self.ras.peek());
+                                sp.set_target(Some(self.ras.peek()));
                             }
                             BranchKind::Indirect => {
                                 // Only the BTB's guess is available.
@@ -999,7 +1050,7 @@ impl<S: InstructionStream> Core<S> {
                 let mispredict = d.cfi.and_then(|c| {
                     if c.kind == BranchKind::Conditional && c.taken != predicted_taken {
                         Some(MispredictKind::Direction)
-                    } else if c.taken && predicted_taken && sp.target != Some(c.target) {
+                    } else if c.taken && predicted_taken && sp.target() != Some(c.target) {
                         Some(MispredictKind::Target)
                     } else {
                         None
@@ -1051,7 +1102,7 @@ impl<S: InstructionStream> Core<S> {
             // *corrected prediction* redirects on, or — in the serialized
             // experiment — at the first conditional branch (one direction
             // prediction per cycle).
-            let ends = sp.wants_redirect() && sp.target.is_some();
+            let ends = sp.wants_redirect() && sp.target().is_some();
             if ends {
                 // Clear any predicted junk past the cut.
                 for j in (s as usize + 1)..f.width as usize {
@@ -1123,6 +1174,15 @@ impl<S: InstructionStream> Core<S> {
     /// scratch buffers are excluded (they are dead between cycles).
     pub fn save_state(&self, w: &mut StateWriter) {
         w.begin_section("core");
+        self.save_host_state(w);
+        self.bpu.save_state(w);
+        w.end_section();
+    }
+
+    /// Everything [`save_state`](Self::save_state) writes *except* the
+    /// BPU: cycle, counters, frontend/backend queues, RAS, caches, and the
+    /// workload cursor.
+    fn save_host_state(&self, w: &mut StateWriter) {
         w.write_u64(self.cycle);
         self.counters.save_state(w);
         w.write_u64(self.fetch_pc);
@@ -1164,8 +1224,6 @@ impl<S: InstructionStream> Core<S> {
         }
         self.ras.save_state(w);
         self.mem.save_state(w);
-        self.bpu.save_state(w);
-        w.end_section();
     }
 
     /// Restores state written by [`save_state`](Self::save_state) into a
@@ -1180,6 +1238,13 @@ impl<S: InstructionStream> Core<S> {
     /// a different design or configuration.
     pub fn load_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
         r.open_section("core")?;
+        self.host_baseline = None;
+        self.load_host_state(r)?;
+        self.bpu.load_state(r)?;
+        r.close_section()
+    }
+
+    fn load_host_state(&mut self, r: &mut StateReader<'_>) -> Result<(), SnapError> {
         self.cycle = r.read_u64("core cycle")?;
         self.counters = PerfCounters::load_state(r)?;
         self.fetch_pc = r.read_u64("core fetch pc")?;
@@ -1192,6 +1257,8 @@ impl<S: InstructionStream> Core<S> {
             let _ = self.stream.next_inst();
         }
         self.stream_reads = reads;
+        self.inst_buf.clear();
+        self.inst_pos = 0;
         self.lookahead = if r.read_bool("core has lookahead")? {
             Some(DynInst::load_state(r)?)
         } else {
@@ -1212,6 +1279,7 @@ impl<S: InstructionStream> Core<S> {
         }
         let n_rob = r.read_u64_capped("core rob", 1 << 20)?;
         self.rob.clear();
+        self.issue_skip = 0;
         for _ in 0..n_rob {
             self.rob.push_back(RobEntry::load_state(r)?);
         }
@@ -1234,8 +1302,55 @@ impl<S: InstructionStream> Core<S> {
         }
         self.ras.load_state(r)?;
         self.mem.load_state(r)?;
-        self.bpu.load_state(r)?;
-        r.close_section()
+        Ok(())
+    }
+
+    /// Arms a fast-reset baseline at the current state. Host state (queues,
+    /// counters, caches — all small relative to predictor tables) is
+    /// serialized to an in-memory buffer; the BPU arms dirty-row SRAM
+    /// tracking so [`reset_to_baseline`](Self::reset_to_baseline) rewrites
+    /// only rows mutated since arming.
+    pub fn arm_baseline(&mut self) {
+        let mut w = StateWriter::new();
+        w.begin_section("core-host");
+        self.save_host_state(&mut w);
+        w.end_section();
+        self.host_baseline = Some(w.finish());
+        self.bpu.arm_baseline();
+    }
+
+    /// `true` when [`arm_baseline`](Self::arm_baseline) has been called and
+    /// no full [`load_state`](Self::load_state) has disarmed it since.
+    pub fn baseline_armed(&self) -> bool {
+        self.host_baseline.is_some() && self.bpu.baseline_armed()
+    }
+
+    /// Restores the core to the armed baseline for a rerun. `fresh_stream`
+    /// must be a freshly-built instance of the same deterministic workload;
+    /// it is repositioned by replaying the baseline's recorded read count,
+    /// exactly as [`load_state`](Self::load_state) does. The baseline stays
+    /// armed for the next rerun.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SnapError`] if the baseline payload fails to decode
+    /// (impossible unless a save/load pair is asymmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no baseline is armed.
+    pub fn reset_to_baseline(&mut self, fresh_stream: S) -> Result<(), SnapError> {
+        let bytes = self
+            .host_baseline
+            .take()
+            .expect("reset_to_baseline without an armed baseline");
+        self.stream = fresh_stream;
+        let mut r = StateReader::new(&bytes);
+        r.open_section("core-host")?;
+        self.load_host_state(&mut r)?;
+        r.close_section()?;
+        self.host_baseline = Some(bytes);
+        self.bpu.reset_to_baseline()
     }
 }
 

@@ -211,6 +211,23 @@ pub trait InstructionStream {
     /// program ends.
     fn next_inst(&mut self) -> Option<DynInst>;
 
+    /// Appends up to `max` upcoming instructions to `out`, returning how
+    /// many were appended (0 means the program ended). Equivalent to
+    /// repeated [`next_inst`](Self::next_inst) calls; block-backed streams
+    /// override it to hand out whole decoded blocks, letting batch drivers
+    /// amortize cursor/bounds work — and, behind `&mut dyn` streams,
+    /// virtual dispatch — across hundreds of instructions.
+    fn next_block(&mut self, out: &mut Vec<DynInst>, max: usize) -> usize {
+        let start = out.len();
+        while out.len() - start < max {
+            match self.next_inst() {
+                Some(i) => out.push(i),
+                None => break,
+            }
+        }
+        out.len() - start
+    }
+
     /// Static decode information at an arbitrary address, used for
     /// predecode of wrong-path fetches. Must be deterministic per address.
     fn inst_at(&self, pc: u64) -> StaticInst;

@@ -86,13 +86,29 @@ impl TraceSim {
     /// resolved and committed — no packet is ever in flight speculatively,
     /// so histories are always perfect.
     pub fn run(&mut self, stream: &mut dyn InstructionStream, max_insts: u64) -> TraceStats {
+        // Pull instructions in blocks: one virtual `next_block` call per
+        // few thousand instructions instead of one `next_inst` call each,
+        // with cursor/bounds work amortized across the whole batch.
+        const BATCH: usize = 4096;
+        let mut buf: Vec<crate::program::DynInst> = Vec::with_capacity(BATCH);
+        let mut pos = 0usize;
         let mut executed = 0u64;
         let mut pending: Option<crate::program::DynInst> = None;
         'outer: while executed < max_insts {
             // Start a packet at the next architectural PC.
-            let first = match pending.take().or_else(|| stream.next_inst()) {
+            let first = match pending.take() {
                 Some(i) => i,
-                None => break,
+                None => {
+                    if pos == buf.len() {
+                        buf.clear();
+                        pos = 0;
+                        if stream.next_block(&mut buf, BATCH) == 0 {
+                            break;
+                        }
+                    }
+                    pos += 1;
+                    buf[pos - 1]
+                }
             };
             let pc = first.pc;
             let width = 8u64.min(8 - ((pc / 2) % 8)).max(1) as u8;
@@ -139,7 +155,7 @@ impl TraceSim {
                             self.stats.cond_mispredicts += 1;
                             mispredicted_here = true;
                         }
-                    } else if c.taken && sp.target != Some(c.target) {
+                    } else if c.taken && sp.target() != Some(c.target) {
                         self.stats.target_misses += 1;
                     }
                     resolutions.push(SlotResolution {
@@ -160,10 +176,15 @@ impl TraceSim {
                     }
                 }
                 // Next instruction: does it continue this packet?
-                let next = match stream.next_inst() {
-                    Some(i) => i,
-                    None => break 'outer,
-                };
+                if pos == buf.len() {
+                    buf.clear();
+                    pos = 0;
+                    if stream.next_block(&mut buf, BATCH) == 0 {
+                        break 'outer;
+                    }
+                }
+                pos += 1;
+                let next = buf[pos - 1];
                 let contiguous = next.pc == inst.pc + 2 && next.pc < pc + width as u64 * 2;
                 if contiguous {
                     inst = next;

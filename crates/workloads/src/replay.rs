@@ -177,6 +177,29 @@ impl<R: Read + Seek> InstructionStream for TraceProgram<R> {
         }
     }
 
+    fn next_block(&mut self, out: &mut Vec<DynInst>, max: usize) -> usize {
+        let start = out.len();
+        while out.len() - start < max {
+            if self.pos < self.block.len() {
+                let take = (max - (out.len() - start)).min(self.block.len() - self.pos);
+                out.extend_from_slice(&self.block[self.pos..self.pos + take]);
+                self.pos += take;
+                self.consumed += take as u64;
+                continue;
+            }
+            if self.next_block >= self.reader.blocks() {
+                break;
+            }
+            self.block = self
+                .reader
+                .read_block(self.next_block)
+                .unwrap_or_else(|e| panic!("validated trace became unreadable: {e}"));
+            self.next_block += 1;
+            self.pos = 0;
+        }
+        out.len() - start
+    }
+
     fn inst_at(&self, pc: u64) -> StaticInst {
         self.reader.image().lookup(pc)
     }

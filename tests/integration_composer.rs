@@ -41,8 +41,11 @@ fn every_registered_component_conforms_to_the_interface() {
         let mut names: Vec<&str> = design.registry.names().collect();
         names.sort_unstable();
         for name in names {
-            let mut c = design.registry.build(name, 8).expect("name registered");
-            let v = check_component(c.as_mut(), CheckConfig::default());
+            let mut c = design
+                .registry
+                .build(name, 8, None)
+                .expect("name registered");
+            let v = check_component(&mut c, CheckConfig::default());
             assert!(
                 v.is_empty(),
                 "{}::{name} violates the interface: {v:?}",
@@ -118,7 +121,7 @@ fn revise_then_flush_restores_clean_history() {
     let mut pred = *bpu.prediction(a, 3).unwrap();
     pred.slot_mut(0).kind = Some(BranchKind::Conditional);
     pred.slot_mut(0).taken = Some(true);
-    pred.slot_mut(0).target = Some(0x9000);
+    pred.slot_mut(0).set_target(Some(0x9000));
     bpu.revise(a, &pred, true);
     assert_ne!(*bpu.speculative_ghist(), before, "revision pushed a bit");
     bpu.flush();

@@ -24,15 +24,15 @@ fn arb_kind(rng: &mut SplitMix64) -> Option<BranchKind> {
 }
 
 fn arb_slot(rng: &mut SplitMix64) -> SlotPrediction {
-    SlotPrediction {
-        kind: arb_kind(rng),
-        taken: match rng.below(3) {
+    SlotPrediction::new(
+        arb_kind(rng),
+        match rng.below(3) {
             0 => None,
             1 => Some(false),
             _ => Some(true),
         },
-        target: rng.chance(0.5).then(|| rng.below(1 << 40)),
-    }
+        rng.chance(0.5).then(|| rng.below(1 << 40)),
+    )
 }
 
 fn arb_bundle(rng: &mut SplitMix64) -> PredictionBundle {
@@ -78,10 +78,10 @@ fn redirect_slot_always_wants_redirect() {
         let b = arb_bundle(&mut rng);
         if let Some((slot, target)) = b.redirect() {
             assert!(b.slot(slot).wants_redirect());
-            assert_eq!(b.slot(slot).target, Some(target));
+            assert_eq!(b.slot(slot).target(), Some(target));
             // Nothing earlier redirects with a target.
             for i in 0..slot {
-                assert!(!(b.slot(i).wants_redirect() && b.slot(i).target.is_some()));
+                assert!(!(b.slot(i).wants_redirect() && b.slot(i).target().is_some()));
             }
         }
     }

@@ -29,10 +29,10 @@ fn every_registry_component_conforms() {
     for label in EXPECTED_LABELS {
         for width in [4u8, 8] {
             let mut c = registry
-                .build(label, width)
+                .build(label, width, None)
                 .expect("label is in the stock registry");
             let violations = check_component(
-                &mut *c,
+                &mut c,
                 CheckConfig {
                     width,
                     ..CheckConfig::default()
@@ -55,10 +55,10 @@ fn every_design_registry_component_conforms() {
         for label in names {
             let mut c = design
                 .registry
-                .build(&label, 8)
+                .build(&label, 8, None)
                 .expect("label from this registry");
             let violations = check_component(
-                &mut *c,
+                &mut c,
                 CheckConfig {
                     width: 8,
                     ..CheckConfig::default()
