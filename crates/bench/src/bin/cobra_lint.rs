@@ -1,13 +1,15 @@
 //! `cobra-lint` — static analysis of predictor topologies.
 //!
-//! Runs the five `cobra_core::analysis` passes over built-in designs or
-//! raw topology strings, without simulating:
+//! Runs the `cobra_core::analysis` passes over built-in designs or raw
+//! topology strings, without simulating:
 //!
 //! ```text
 //! cobra-lint --all                          # lint every built-in design
 //! cobra-lint TAGE-L Tournament              # lint by design name
 //! cobra-lint "UBTB1 > BIM2"                 # lint a raw topology
 //! cobra-lint --all --format json            # machine-readable reports
+//! cobra-lint --all --format sarif           # GitHub code-scanning output
+//! cobra-lint --all --plan                   # + plan-soundness verifier
 //! cobra-lint --all --deny warnings          # CI mode: warnings fail
 //! cobra-lint --list-codes                   # the diagnostic code table
 //! ```
@@ -17,18 +19,31 @@
 //! against their own registries and are cross-checked against the
 //! storage reference figures in [`cobra_bench::reference`].
 //!
+//! `--plan` compiles each target's pipeline and cross-checks the lowered
+//! execution plan against the elaborated design (the `P0101`–`P0501`
+//! verifier), appending any finding to the report.
+//!
 //! Exit status: 0 when no denied diagnostic fired, 1 when at least one
 //! did, 2 on a usage error.
 
 use cobra_bench::reference;
 use cobra_core::analysis::{self, AnalysisConfig, DiagCode, Severity};
+use cobra_core::composer::Design;
 use cobra_core::designs;
 use std::process::ExitCode;
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Human,
+    Json,
+    Sarif,
+}
 
 struct Options {
     targets: Vec<String>,
     all: bool,
-    json: bool,
+    format: Format,
+    plan: bool,
     deny_warnings: bool,
     deny: Vec<DiagCode>,
     allow: Vec<DiagCode>,
@@ -44,7 +59,8 @@ impl Default for Options {
         Self {
             targets: Vec::new(),
             all: false,
-            json: false,
+            format: Format::Human,
+            plan: false,
             deny_warnings: false,
             deny: Vec::new(),
             allow: Vec::new(),
@@ -63,7 +79,8 @@ Targets are built-in design names (e.g. TAGE-L) or raw topology strings
 
 Options:
   --all               lint every built-in design
-  --format FMT        human (default) or json
+  --format FMT        human (default), json, or sarif
+  --plan              also run the plan-soundness verifier (P-codes)
   --deny warnings     treat warnings as errors (exit 1)
   --deny CODE         treat one code (e.g. C0501) as an error
   --allow CODE        demote one warning code to a note
@@ -104,9 +121,11 @@ fn parse_args(args: &[String]) -> Result<Option<Options>, String> {
                 return Ok(None);
             }
             "--all" => o.all = true,
+            "--plan" => o.plan = true,
             "--format" => match need(&mut it, "--format")?.as_str() {
-                "json" => o.json = true,
-                "human" => o.json = false,
+                "json" => o.format = Format::Json,
+                "human" => o.format = Format::Human,
+                "sarif" => o.format = Format::Sarif,
                 other => return Err(format!("unknown format `{other}`")),
             },
             "--deny" => {
@@ -167,12 +186,13 @@ fn lint_one(target: &str, o: &Options) -> Result<analysis::AnalysisReport, Strin
         paper_kb,
         ..AnalysisConfig::default()
     };
-    let mut report = if let Some(design) = designs::by_name(target) {
+    let named = designs::by_name(target);
+    let mut report = if let Some(design) = &named {
         let cfg = cfg(
             reference::measured_storage_kb(&design.name),
             reference::table1_storage_kb(&design.name),
         );
-        analysis::analyze_design(&design, &cfg)
+        analysis::analyze_design(design, &cfg)
     } else {
         let registry = designs::stock_registry();
         analysis::analyze_topology(
@@ -192,6 +212,24 @@ fn lint_one(target: &str, o: &Options) -> Result<analysis::AnalysisReport, Strin
             None => e.to_string(),
         }
     })?;
+    if o.plan {
+        // The verifier needs a compiled pipeline; a design whose pipeline
+        // cannot compile already carries error diagnostics in the report,
+        // so a compile failure here is not double-reported.
+        let design = match named {
+            Some(d) => d,
+            None => Design {
+                name: target.into(),
+                topology: target.into(),
+                registry: designs::stock_registry(),
+                ghist_bits: o.ghist_bits,
+                lhist_entries: o.lhist_entries,
+            },
+        };
+        if let Ok(diags) = analysis::verify_design_plan(&design, o.width) {
+            report.diagnostics.extend(diags);
+        }
+    }
     adjust_severities(&mut report, o);
     Ok(report)
 }
@@ -214,40 +252,148 @@ fn main() -> ExitCode {
 
     let mut failed = false;
     let mut json_reports = Vec::new();
+    let mut sarif_results = Vec::new();
     for target in &targets {
         match lint_one(target, &o) {
             Ok(report) => {
                 if !report.is_clean(Severity::Error) {
                     failed = true;
                 }
-                if o.json {
-                    json_reports.push(report.render_json());
-                } else {
-                    print!("{}", report.render_human());
+                match o.format {
+                    Format::Json => json_reports.push(report.render_json()),
+                    Format::Sarif => sarif_results.extend(sarif_results_for(&report)),
+                    Format::Human => print!("{}", report.render_human()),
                 }
             }
             Err(msg) => {
                 failed = true;
-                if o.json {
-                    json_reports.push(format!(
+                match o.format {
+                    Format::Json => json_reports.push(format!(
                         "{{\"design\":{},\"error\":{}}}",
                         json_str(target),
                         json_str(&msg)
-                    ));
-                } else {
-                    eprintln!("cobra-lint: {target}: {msg}");
+                    )),
+                    Format::Sarif => sarif_results.push(sarif_result(
+                        "C0001",
+                        "error",
+                        &format!("{target}: {msg}"),
+                        target,
+                        None,
+                    )),
+                    Format::Human => eprintln!("cobra-lint: {target}: {msg}"),
                 }
             }
         }
     }
-    if o.json {
-        println!("[{}]", json_reports.join(","));
+    match o.format {
+        Format::Json => println!("[{}]", json_reports.join(",")),
+        Format::Sarif => println!("{}", sarif_document(&sarif_results)),
+        Format::Human => {}
     }
     if failed {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// SARIF severity level for a diagnostic severity.
+fn sarif_level(s: Severity) -> &'static str {
+    match s {
+        Severity::Note => "note",
+        Severity::Warning => "warning",
+        Severity::Error => "error",
+    }
+}
+
+/// One SARIF result object. `region` is a byte span into the topology
+/// text, reported as single-line column coordinates.
+fn sarif_result(
+    rule: &str,
+    level: &str,
+    message: &str,
+    artifact: &str,
+    region: Option<(usize, usize)>,
+) -> String {
+    let region_json = match region {
+        Some((start, end)) => format!(
+            ",\"region\":{{\"startLine\":1,\"startColumn\":{},\"endColumn\":{}}}",
+            start + 1,
+            end.max(start + 1) + 1
+        ),
+        None => String::new(),
+    };
+    format!(
+        "{{\"ruleId\":{},\"level\":{},\"message\":{{\"text\":{}}},\
+         \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":\
+         {{\"uri\":{}}}{region_json}}}}}]}}",
+        json_str(rule),
+        json_str(level),
+        json_str(message),
+        json_str(&format!("topologies/{}.cobra", sanitize(artifact))),
+    )
+}
+
+/// All SARIF results for one report, in diagnostic order.
+fn sarif_results_for(report: &analysis::AnalysisReport) -> Vec<String> {
+    report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut text = format!("{}: {}", report.name, d.message);
+            if let Some(c) = &d.component {
+                text.push_str(&format!(" (component `{c}`)"));
+            }
+            if let Some(h) = &d.hint {
+                text.push_str(&format!(" — hint: {h}"));
+            }
+            sarif_result(
+                d.code.code(),
+                sarif_level(d.severity),
+                &text,
+                &report.name,
+                d.span.map(|s| (s.start, s.end)),
+            )
+        })
+        .collect()
+}
+
+/// Wraps results in a complete SARIF 2.1.0 document with the full rule
+/// table, suitable for GitHub code-scanning upload.
+fn sarif_document(results: &[String]) -> String {
+    let rules = DiagCode::all()
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"id\":{},\"shortDescription\":{{\"text\":{}}},\
+                 \"defaultConfiguration\":{{\"level\":{}}}}}",
+                json_str(c.code()),
+                json_str(c.summary()),
+                json_str(sarif_level(c.default_severity())),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(
+        "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+         \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":{{\
+         \"name\":\"cobra-lint\",\"rules\":[{rules}]}}}},\
+         \"results\":[{}]}}]}}",
+        results.join(",")
+    )
+}
+
+/// Filesystem-safe artifact stem for a design name or raw topology.
+fn sanitize(s: &str) -> String {
+    s.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
 }
 
 /// Local JSON string escaping (mirrors the analyzer's serde-free output).

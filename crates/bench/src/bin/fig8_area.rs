@@ -1,8 +1,14 @@
 //! Fig 8: area utilization of the three predictor pipelines, broken down
 //! across sub-components plus the "Meta" management structures.
+//!
+//! The per-component storage feeding the area model is the runtime
+//! accounting; the `cobra-area` static resource model is asserted
+//! bit-exact against it before anything is charged, so Fig 8 and the
+//! budget oracle always agree.
 
 use cobra_area::{AreaBreakdown, ProcessModel};
 use cobra_bench::bar;
+use cobra_core::analysis::{AnalysisConfig, DesignModel, ResourceReport};
 use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
 use cobra_core::designs;
 
@@ -14,9 +20,38 @@ fn main() {
         let bpu = BranchPredictorUnit::build(&design, BpuConfig::default())
             .expect("stock design composes");
         let comps = bpu.storage_by_component();
+        let dm = DesignModel::build(
+            &design.name,
+            &design.topology,
+            &design.registry,
+            BpuConfig::default().fetch_width,
+            design.ghist_bits,
+            design.lhist_entries,
+        )
+        .expect("stock design elaborates");
+        let resource = ResourceReport::from_model(&dm, &AnalysisConfig::default());
+        assert_eq!(
+            comps
+                .iter()
+                .map(|(l, r)| (l.clone(), r.total_bits()))
+                .collect::<Vec<_>>(),
+            resource
+                .components
+                .iter()
+                .map(|(l, r)| (l.clone(), r.total_bits()))
+                .collect::<Vec<_>>(),
+            "{}: static resource model diverged from runtime storage",
+            design.name
+        );
         let mut breakdown =
             AreaBreakdown::from_reports(&model, comps.iter().map(|(l, r)| (l.clone(), r)));
         let meta = bpu.meta_storage();
+        assert_eq!(
+            meta.total_bits(),
+            resource.management.total_bits(),
+            "{}: static management storage diverged",
+            design.name
+        );
         breakdown.push("Meta", model.report_area_um2(&meta));
         let total = breakdown.total_um2();
         println!();

@@ -1,6 +1,15 @@
 //! Table I: parameters and storage of the evaluated COBRA designs.
+//!
+//! Storage figures come from the runtime accounting
+//! ([`BranchPredictorUnit::storage_by_component`]); the `cobra-area`
+//! static resource model is computed alongside and asserted bit-exact
+//! against it, so the printed table and the autotuner's pruning oracle
+//! can never drift apart.
+//!
+//! [`BranchPredictorUnit::storage_by_component`]: cobra_core::composer::BranchPredictorUnit::storage_by_component
 
 use cobra_bench::reference::TABLE1_STORAGE_KB;
+use cobra_core::analysis::{AnalysisConfig, DesignModel, ResourceReport};
 use cobra_core::composer::{BpuConfig, BranchPredictorUnit};
 use cobra_core::designs;
 
@@ -13,6 +22,35 @@ fn main() {
     for design in designs::all() {
         let bpu = BranchPredictorUnit::build(&design, BpuConfig::default())
             .expect("stock design composes");
+        // The static resource model must agree with the runtime accounting
+        // bit-for-bit on every design this table prints.
+        let model = DesignModel::build(
+            &design.name,
+            &design.topology,
+            &design.registry,
+            BpuConfig::default().fetch_width,
+            design.ghist_bits,
+            design.lhist_entries,
+        )
+        .expect("stock design elaborates");
+        let resource = ResourceReport::from_model(&model, &AnalysisConfig::default());
+        for ((label, runtime), (s_label, s_report)) in
+            bpu.storage_by_component().iter().zip(&resource.components)
+        {
+            assert_eq!(label, s_label, "component order diverged");
+            assert_eq!(
+                runtime.total_bits(),
+                s_report.total_bits(),
+                "{}: static resource model diverged from runtime storage for {label}",
+                design.name
+            );
+        }
+        assert_eq!(
+            bpu.meta_storage().total_bits(),
+            resource.management.total_bits(),
+            "{}: static management storage diverged",
+            design.name
+        );
         let paper = TABLE1_STORAGE_KB
             .iter()
             .find(|(n, _)| *n == design.name)

@@ -1,0 +1,7 @@
+//! Declares the `cobra_seeded_bug` cfg so `--cfg cobra_seeded_bug` (the CI
+//! mutation-smoke leg that plants a deliberate lowering bug for the plan
+//! verifier to catch) passes `check-cfg` on stock builds.
+
+fn main() {
+    println!("cargo::rustc-check-cfg=cfg(cobra_seeded_bug)");
+}

@@ -1,0 +1,302 @@
+//! Tier-2 dataflow passes: history-width inference (`C0601`), field-flow
+//! (`C0602`), and index interference (`C07xx`).
+//!
+//! These passes propagate per-component static declarations —
+//! `required_ghist_bits`, [`FieldProfile`], and the per-table
+//! [`IndexDescriptor`]s — through the topology instead of checking each
+//! component in isolation:
+//!
+//! * **history inference** compares the design's supplied global-history
+//!   width against the widest demand any component actually propagates;
+//!   a register more than twice as wide as any reader is speculative
+//!   state that every checkpoint, snapshot, and repair carries for
+//!   nothing ([`DiagCode::GhistOverProvisioned`]);
+//! * **field flow** folds [`FieldProfile`]s bottom-up with the composer's
+//!   override/arbitration semantics to find prediction fields *no*
+//!   component can ever populate — consumers of the final output read a
+//!   constant ([`DiagCode::FieldNeverProduced`]);
+//! * **interference** inspects [`IndexDescriptor`]s for history-indexed
+//!   tables that keep too few PC bits to separate branches sharing
+//!   history ([`DiagCode::IndexAliasing`] — the paper's Section V-B
+//!   Tournament/`xz` diagnosis, derived statically), and for component
+//!   pairs whose tables share geometry and history sources and therefore
+//!   mistrain together ([`DiagCode::CorrelatedIndexPair`]).
+//!
+//! [`FieldProfile`]: crate::iface::FieldProfile
+//! [`IndexDescriptor`]: crate::iface::IndexDescriptor
+
+use super::diagnostics::{DiagCode, Diagnostic};
+use super::model::DesignModel;
+use crate::iface::{FieldProfile, FieldSet};
+use cobra_sim::bits;
+
+/// C0601 — the supplied global-history register is more than twice as wide
+/// as any component's propagated demand.
+pub fn history_inference(model: &DesignModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // A component's demand is the max of its declared read width and what
+    // its index functions actually fold in — either one keeps the bits live.
+    let demand = model
+        .components
+        .iter()
+        .map(|c| {
+            c.index_fns
+                .iter()
+                .map(|ix| ix.ghist_bits)
+                .max()
+                .unwrap_or(0)
+                .max(c.required_ghist_bits)
+        })
+        .max()
+        .unwrap_or(0);
+    if demand > 0 && model.ghist_bits > 2 * demand {
+        out.push(
+            Diagnostic::new(
+                DiagCode::GhistOverProvisioned,
+                format!(
+                    "global history register is {} bits but no component reads more than \
+                     {demand}: the unused bits are speculative state carried through every \
+                     snapshot and repair",
+                    model.ghist_bits
+                ),
+            )
+            .with_hint(format!("ghist {demand} suffices for this composition")),
+        );
+    }
+    out
+}
+
+/// Composed field profile of the subtree rooted at `idx`, following the
+/// composer's semantics: an overrider's fields land on top of the chain
+/// below (unions), while an arbiter forwards exactly one arm (so only
+/// fields *every* arm guarantees are guaranteed).
+fn composed_profile(model: &DesignModel, idx: usize) -> FieldProfile {
+    let c = &model.components[idx];
+    let own = c.profile;
+    if c.inputs.is_empty() {
+        return own;
+    }
+    let inputs: Vec<FieldProfile> = c
+        .inputs
+        .iter()
+        .map(|&i| composed_profile(model, i))
+        .collect();
+    if c.is_selector {
+        let mut may = own.may;
+        let mut always = FieldSet::ALL;
+        for p in &inputs {
+            may = may.union(p.may);
+            always = always.intersect(p.always);
+        }
+        FieldProfile {
+            may,
+            always: always.union(own.always),
+        }
+    } else {
+        let mut may = own.may;
+        let mut always = own.always;
+        for p in &inputs {
+            may = may.union(p.may);
+            always = always.union(p.always);
+        }
+        FieldProfile { may, always }
+    }
+}
+
+/// C0602 — a prediction field the composed final output can never carry.
+pub fn field_flow(model: &DesignModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let Some(fin) = model.final_node else {
+        return out;
+    };
+    if !model.resolution.is_empty() {
+        // Unresolved components hide producers; don't guess.
+        return out;
+    }
+    let composed = composed_profile(model, fin);
+    let missing: Vec<&str> = [
+        (FieldSet::KIND, "kind"),
+        (FieldSet::TAKEN, "taken"),
+        (FieldSet::TARGET, "target"),
+    ]
+    .iter()
+    .filter(|(f, _)| !composed.may.contains(*f))
+    .map(|&(_, n)| n)
+    .collect();
+    if !missing.is_empty() {
+        let fin_label = &model.components[fin].label;
+        out.push(
+            Diagnostic::new(
+                DiagCode::FieldNeverProduced,
+                format!(
+                    "no component in the composition can populate {}: consumers of \
+                     `{fin_label}`'s output read a constant for {}",
+                    missing.join("/"),
+                    if missing.len() > 1 {
+                        "these fields"
+                    } else {
+                        "this field"
+                    },
+                ),
+            )
+            .with_component(fin_label.clone())
+            .with_span(model.components[fin].span)
+            .with_hint("add a component whose field profile may populate the missing field(s)"),
+        );
+    }
+    out
+}
+
+/// C0701/C0702 — index-aliasing and cross-component interference.
+pub fn interference(model: &DesignModel) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    // C0701: within one table, history dominates the index while the PC
+    // contribution cannot even cover the row space — distinct static
+    // branches with shared history collapse onto the same rows.
+    for c in &model.components {
+        for ix in &c.index_fns {
+            let row_bits = bits::clog2(ix.sets.max(1));
+            if ix.history_bits() > 0 && ix.pc_bits < row_bits {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::IndexAliasing,
+                        format!(
+                            "`{}` indexes `{}` ({} sets) with only {} PC bit(s) against \
+                             {} history bit(s): branches sharing history alias onto the \
+                             same rows (cf. the paper's Tournament/xz analysis)",
+                            c.label,
+                            ix.table,
+                            ix.sets,
+                            ix.pc_bits,
+                            ix.history_bits()
+                        ),
+                    )
+                    .with_component(c.label.clone())
+                    .with_span(c.span),
+                );
+            }
+        }
+    }
+    // C0702: two different components whose tables share geometry and an
+    // identical history-source signature hash correlated streams — they
+    // mistrain together on exactly the workloads that stress either one.
+    for (a_i, a) in model.components.iter().enumerate() {
+        for b in model.components.iter().skip(a_i + 1) {
+            for ix_a in &a.index_fns {
+                for ix_b in &b.index_fns {
+                    if ix_a.sets == ix_b.sets
+                        && ix_a.history_bits() > 0
+                        && ix_a.history_signature() == ix_b.history_signature()
+                    {
+                        out.push(
+                            Diagnostic::new(
+                                DiagCode::CorrelatedIndexPair,
+                                format!(
+                                    "`{}`.`{}` and `{}`.`{}` share geometry ({} sets) and \
+                                     an identical history signature: their index streams \
+                                     are correlated and the tables mistrain together",
+                                    a.label, ix_a.table, b.label, ix_b.table, ix_a.sets
+                                ),
+                            )
+                            .with_component(a.label.clone())
+                            .with_span(a.span),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::designs;
+
+    fn model_for(topo: &str, ghist: u32, lhist: u64) -> DesignModel {
+        let reg = designs::stock_registry();
+        DesignModel::build("test", topo, &reg, 8, ghist, lhist).unwrap()
+    }
+
+    #[test]
+    fn tournament_ghist_is_over_provisioned() {
+        // The Tournament design supplies 32 ghist bits; GBIM2 reads 14 and
+        // TOURNEY3 12 — more than 2× headroom.
+        let d = designs::tournament();
+        let m =
+            DesignModel::build(&d.name, &d.topology, &d.registry, 8, d.ghist_bits, 256).unwrap();
+        let diags = history_inference(&m);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::GhistOverProvisioned);
+    }
+
+    #[test]
+    fn tight_ghist_is_silent() {
+        let m = model_for("GTAG3 > BIM2", 16, 0);
+        assert!(history_inference(&m).is_empty());
+    }
+
+    #[test]
+    fn direction_only_chain_misses_kind_and_target() {
+        // GTAG3 and BIM2 both carry only `taken`.
+        let m = model_for("GTAG3 > BIM2", 16, 0);
+        let diags = field_flow(&m);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, DiagCode::FieldNeverProduced);
+        assert!(diags[0].message.contains("kind"));
+        assert!(diags[0].message.contains("target"));
+    }
+
+    #[test]
+    fn catalog_designs_produce_all_fields() {
+        for d in designs::catalog() {
+            let m = DesignModel::build(&d.name, &d.topology, &d.registry, 8, d.ghist_bits, 256)
+                .unwrap();
+            assert!(field_flow(&m).is_empty(), "{} flagged", d.name);
+        }
+    }
+
+    #[test]
+    fn tournament_tables_alias_on_history() {
+        // GBIM2 keeps 4 PC bits against 14 history bits over 2048-row
+        // banks; LBIM2 keeps 3 against 32; TOURNEY3 keeps 2 against 12.
+        let d = designs::tournament();
+        let m =
+            DesignModel::build(&d.name, &d.topology, &d.registry, 8, d.ghist_bits, 256).unwrap();
+        let diags = interference(&m);
+        let aliased: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == DiagCode::IndexAliasing)
+            .filter_map(|d| d.component.clone())
+            .collect();
+        assert!(aliased.contains(&"GBIM2".to_string()), "{diags:?}");
+        assert!(aliased.contains(&"LBIM2".to_string()), "{diags:?}");
+        assert!(aliased.contains(&"TOURNEY3".to_string()), "{diags:?}");
+    }
+
+    #[test]
+    fn pc_indexed_tables_do_not_alias() {
+        let m = model_for("BTB2 > BIM2", 16, 0);
+        assert!(interference(&m).is_empty());
+    }
+
+    #[test]
+    fn correlated_pair_fires_on_shared_geometry() {
+        // Two GShare tables with identical geometry and history widths:
+        // correlated index streams that mistrain together.
+        use crate::components::{Hbim, HbimConfig};
+        use crate::composer::ComponentRegistry;
+        let mut reg = ComponentRegistry::new();
+        reg.register_kind("GSA2", |w| Hbim::new(HbimConfig::gbim(4096, 12, w)).into());
+        reg.register_kind("GSB2", |w| Hbim::new(HbimConfig::gbim(4096, 12, w)).into());
+        let m = DesignModel::build("twin", "GSA2 > GSB2", &reg, 8, 16, 0).unwrap();
+        let diags = interference(&m);
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.code == DiagCode::CorrelatedIndexPair),
+            "{diags:?}"
+        );
+    }
+}

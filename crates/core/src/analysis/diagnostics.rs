@@ -45,9 +45,13 @@ impl fmt::Display for Severity {
 ///
 /// Codes are grouped by pass: `C00xx` parse, `C01xx` structural (L5),
 /// `C02xx` latency (L1), `C03xx` metadata (L2), `C04xx` storage (L3),
-/// `C05xx` reachability/shadowing (L4). The code strings are part of the
-/// tool's public contract: scripts may match on them, so they never change
-/// meaning.
+/// `C05xx` reachability/shadowing (L4), `C06xx` history/field dataflow,
+/// `C07xx` index interference. `P0xxx` codes come from the plan-soundness
+/// verifier, which cross-checks the lowered [`ExecutionPlan`] against the
+/// elaborated design. The code strings are part of the tool's public
+/// contract: scripts may match on them, so they never change meaning.
+///
+/// [`ExecutionPlan`]: crate::composer::ExecutionPlan
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DiagCode {
     /// `C0001`: the topology text failed to parse.
@@ -98,6 +102,50 @@ pub enum DiagCode {
     /// respond at the same stage and the overrider unconditionally
     /// populates fields the overridden may produce.
     ZeroOverrideWindow,
+    /// `C0601`: the design's global history register is more than twice as
+    /// wide as any component's demand — over-provisioned speculative state
+    /// that every checkpoint and repair must carry for nothing.
+    GhistOverProvisioned,
+    /// `C0602`: no component in the composition can ever populate a
+    /// prediction field — the composed `may` union of the final output
+    /// misses it, so downstream consumers read a constant.
+    FieldNeverProduced,
+    /// `C0701`: a history-indexed table keeps too few PC bits to separate
+    /// branches that share history — distinct static branches alias onto
+    /// the same rows on correlated streams (the paper's Tournament/`xz`
+    /// Section V-B diagnosis, derived statically).
+    IndexAliasing,
+    /// `C0702`: two components share SRAM geometry (equal set count) and
+    /// draw on the same history sources with identical widths, so their
+    /// index streams are correlated and they mistrain together.
+    CorrelatedIndexPair,
+    /// `P0101`: the lowered plan's stage count or stage-1 schedule does
+    /// not match the elaborated design.
+    PlanStageCount,
+    /// `P0102`: a node whose output can change at stage *s* is missing
+    /// from the stage-*s* fold schedule — the plan would serve a stale
+    /// composition.
+    PlanScheduleMissing,
+    /// `P0103`: a node is scheduled at a stage where its output cannot
+    /// change — wasted folds, not wrong results.
+    PlanScheduleSpurious,
+    /// `P0201`: the plan's flat input-index arrays are not bijective with
+    /// the topology's edges (wrong inputs, wrong order, or a broken
+    /// contiguous partition).
+    PlanInputMismatch,
+    /// `P0301`: a cached per-node latency in the plan disagrees with the
+    /// component's declared latency.
+    PlanLatencyMismatch,
+    /// `P0302`: a node's cached `wants_hist` flag contradicts the
+    /// history-timing rule (`latency ≥ 2`).
+    PlanHistMismatch,
+    /// `P0401`: lowering took the `Custom` escape hatch for a component,
+    /// so the plan schedules it conservatively every stage instead of
+    /// compiling its fold set.
+    PlanCustomFallback,
+    /// `P0501`: the plan's node count or node identity disagrees with the
+    /// elaborated design; deeper plan checks are skipped.
+    PlanNodeCount,
 }
 
 impl DiagCode {
@@ -120,6 +168,18 @@ impl DiagCode {
             DiagCode::StorageSummary => "C0402",
             DiagCode::ShadowedComponent => "C0501",
             DiagCode::ZeroOverrideWindow => "C0502",
+            DiagCode::GhistOverProvisioned => "C0601",
+            DiagCode::FieldNeverProduced => "C0602",
+            DiagCode::IndexAliasing => "C0701",
+            DiagCode::CorrelatedIndexPair => "C0702",
+            DiagCode::PlanStageCount => "P0101",
+            DiagCode::PlanScheduleMissing => "P0102",
+            DiagCode::PlanScheduleSpurious => "P0103",
+            DiagCode::PlanInputMismatch => "P0201",
+            DiagCode::PlanLatencyMismatch => "P0301",
+            DiagCode::PlanHistMismatch => "P0302",
+            DiagCode::PlanCustomFallback => "P0401",
+            DiagCode::PlanNodeCount => "P0501",
         }
     }
 
@@ -141,8 +201,19 @@ impl DiagCode {
             | DiagCode::MetaBudgetExceeded
             | DiagCode::StorageDrift
             | DiagCode::ShadowedComponent
-            | DiagCode::ZeroOverrideWindow => Severity::Warning,
-            DiagCode::StorageSummary => Severity::Note,
+            | DiagCode::ZeroOverrideWindow
+            | DiagCode::FieldNeverProduced => Severity::Warning,
+            DiagCode::StorageSummary
+            | DiagCode::GhistOverProvisioned
+            | DiagCode::IndexAliasing
+            | DiagCode::CorrelatedIndexPair => Severity::Note,
+            DiagCode::PlanStageCount
+            | DiagCode::PlanScheduleMissing
+            | DiagCode::PlanInputMismatch
+            | DiagCode::PlanLatencyMismatch
+            | DiagCode::PlanHistMismatch
+            | DiagCode::PlanNodeCount => Severity::Error,
+            DiagCode::PlanScheduleSpurious | DiagCode::PlanCustomFallback => Severity::Warning,
         }
     }
 
@@ -165,6 +236,18 @@ impl DiagCode {
             DiagCode::StorageSummary => "storage summary",
             DiagCode::ShadowedComponent => "component can never contribute a prediction",
             DiagCode::ZeroOverrideWindow => "override window has zero width",
+            DiagCode::GhistOverProvisioned => "global history far wider than any component demand",
+            DiagCode::FieldNeverProduced => "no component can populate a prediction field",
+            DiagCode::IndexAliasing => "history-indexed table keeps too few PC bits",
+            DiagCode::CorrelatedIndexPair => "two tables share geometry and history sources",
+            DiagCode::PlanStageCount => "plan stage schedules disagree with the design depth",
+            DiagCode::PlanScheduleMissing => "changeable node missing from a fold schedule",
+            DiagCode::PlanScheduleSpurious => "unchangeable node scheduled for a fold",
+            DiagCode::PlanInputMismatch => "plan input arrays disagree with topology edges",
+            DiagCode::PlanLatencyMismatch => "cached latency disagrees with the component",
+            DiagCode::PlanHistMismatch => "cached wants-hist flag violates the timing rule",
+            DiagCode::PlanCustomFallback => "lowering fell back to the Custom escape hatch",
+            DiagCode::PlanNodeCount => "plan node set disagrees with the elaborated design",
         }
     }
 
@@ -187,6 +270,18 @@ impl DiagCode {
             DiagCode::StorageSummary,
             DiagCode::ShadowedComponent,
             DiagCode::ZeroOverrideWindow,
+            DiagCode::GhistOverProvisioned,
+            DiagCode::FieldNeverProduced,
+            DiagCode::IndexAliasing,
+            DiagCode::CorrelatedIndexPair,
+            DiagCode::PlanStageCount,
+            DiagCode::PlanScheduleMissing,
+            DiagCode::PlanScheduleSpurious,
+            DiagCode::PlanInputMismatch,
+            DiagCode::PlanLatencyMismatch,
+            DiagCode::PlanHistMismatch,
+            DiagCode::PlanCustomFallback,
+            DiagCode::PlanNodeCount,
         ]
     }
 

@@ -3,8 +3,8 @@
 //! The analyzer elaborates a topology against its [`ComponentRegistry`]
 //! into a [`DesignModel`] — instantiating each component once to read its
 //! declared latency, arity, metadata width, history requirements, field
-//! profile and storage — and then runs five static passes over it, without
-//! simulating a single fetch packet:
+//! profile, storage, and index functions — and then runs static passes
+//! over it, without simulating a single fetch packet:
 //!
 //! * **L1 latency** — override chains must refine monotonically
 //!   ([`DiagCode::LatencyInversion`]) and selectors must not arbitrate
@@ -16,7 +16,22 @@
 //! * **L4 reachability** — components whose predictions can never survive
 //!   composition (shadowing, zero-width override windows);
 //! * **L5 structure** — duplicates, arity mismatches, invalid latencies,
-//!   and history-provider requirements.
+//!   and history-provider requirements;
+//! * **L6 dataflow** ([`dataflow`]) — history-width inference, field-flow,
+//!   and index-interference analysis over propagated component metadata.
+//!
+//! A second tier cross-checks the *compiled* artifacts rather than the
+//! topology:
+//!
+//! * the **plan-soundness verifier** ([`planck`], `P0101`–`P0501`)
+//!   re-derives fold schedules and input wiring from component metadata
+//!   and checks the lowered [`ExecutionPlan`] against them — run via
+//!   [`verify_design_plan`], `cobra-lint --plan`, and (under
+//!   `COBRA_VERIFY_PLAN`) inside [`BranchPredictorUnit::build`];
+//! * the **resource model** ([`resource`], the `cobra-area` binary)
+//!   rolls per-component SRAM geometry and management storage into a
+//!   machine-readable budget report, bit-exact with the runtime
+//!   accounting.
 //!
 //! Findings are [`Diagnostic`]s with stable codes, severities, spans into
 //! the topology text, and fix hints; an [`AnalysisReport`] renders them
@@ -25,18 +40,21 @@
 //! with diagnostics instead of producing a silently-broken pipeline.
 //!
 //! [`BranchPredictorUnit::build`]: crate::composer::BranchPredictorUnit::build
+//! [`ExecutionPlan`]: crate::composer::ExecutionPlan
 
+pub mod dataflow;
 pub mod diagnostics;
 pub mod model;
 pub mod passes;
+pub mod planck;
+pub mod resource;
 
 pub use diagnostics::{DiagCode, Diagnostic, Severity};
 pub use model::{ComponentInfo, DesignModel};
+pub use planck::{verify_env_enabled, verify_pipeline};
+pub use resource::{management_storage_report, ResourceReport};
 
-use crate::composer::{
-    ComponentRegistry, Design, GlobalHistoryProvider, HistoryFile, LocalHistoryProvider,
-    PathHistoryProvider,
-};
+use crate::composer::{ComponentRegistry, Design, PredictorPipeline};
 use crate::error::ComposeError;
 use diagnostics::json_str;
 
@@ -197,39 +215,12 @@ impl AnalysisReport {
 }
 
 /// Storage of the management structures [`BranchPredictorUnit::build`]
-/// would generate for this model, mirroring its construction exactly.
+/// would generate for this model, in bits. See
+/// [`resource::management_storage_report`] for the full report.
 ///
 /// [`BranchPredictorUnit::build`]: crate::composer::BranchPredictorUnit::build
 fn management_storage_bits(model: &DesignModel, cfg: &AnalysisConfig) -> u64 {
-    let lhist_bits = model
-        .components
-        .iter()
-        .map(|c| c.local_history_bits)
-        .max()
-        .unwrap_or(0);
-    if lhist_bits > 64 {
-        // The provider cannot be built; C0108 already reports the defect.
-        return 0;
-    }
-    let lhist_entries = if lhist_bits == 0 {
-        1
-    } else {
-        model.lhist_entries.max(1)
-    };
-    let hf = HistoryFile::new(
-        cfg.history_file_entries,
-        model.ghist_bits,
-        lhist_bits,
-        model.meta_bits_total(),
-    );
-    hf.storage().total_bits()
-        + GlobalHistoryProvider::new(model.ghist_bits)
-            .storage()
-            .total_bits()
-        + LocalHistoryProvider::new(lhist_entries.next_power_of_two(), lhist_bits)
-            .storage()
-            .total_bits()
-        + PathHistoryProvider::new(16).storage().total_bits()
+    resource::management_storage_report(model, cfg).total_bits()
 }
 
 /// Analyzes a raw topology string against `registry`.
@@ -287,6 +278,34 @@ pub fn analyze_design(
         design.lhist_entries,
         cfg,
     )
+}
+
+/// Compiles `design`'s pipeline and runs the tier-1 plan-soundness
+/// verifier over its lowered [`ExecutionPlan`] (the `cobra-lint --plan`
+/// entry point).
+///
+/// Returns the verifier's diagnostics — empty when the plan is sound. The
+/// elaborated model rides along so per-node findings carry spans into the
+/// topology text.
+///
+/// # Errors
+///
+/// Returns the composition error when the pipeline itself cannot be
+/// compiled (unknown components, invalid latencies, …) or the topology
+/// does not parse.
+///
+/// [`ExecutionPlan`]: crate::composer::ExecutionPlan
+pub fn verify_design_plan(design: &Design, width: u8) -> Result<Vec<Diagnostic>, ComposeError> {
+    let pipeline = PredictorPipeline::from_design(design, width)?;
+    let model = DesignModel::build(
+        &design.name,
+        &design.topology,
+        &design.registry,
+        width,
+        design.ghist_bits,
+        design.lhist_entries,
+    )?;
+    Ok(verify_pipeline(&pipeline, Some(&model)))
 }
 
 /// The build-time gate: rejects `design` when any error-level pass fires.

@@ -36,6 +36,14 @@ pub struct ComponentInfo {
     pub profile: FieldProfile,
     /// Declared storage in bits.
     pub storage_bits: u64,
+    /// Full storage declaration (per-SRAM specs and flop bits), for the
+    /// resource model.
+    pub storage: crate::types::StorageReport,
+    /// Per-table index-function descriptors, for the interference pass.
+    pub index_fns: Vec<crate::iface::IndexDescriptor>,
+    /// `true` when this component lowers through the `Custom` escape hatch
+    /// (boxed trait object, opaque to the plan compiler).
+    pub is_custom: bool,
     /// Indices (into [`DesignModel::components`]) of resolved inputs, in
     /// port order.
     pub inputs: Vec<usize>,
@@ -227,6 +235,7 @@ impl Builder<'_> {
             );
             return None;
         };
+        let storage = c.storage();
         self.components.push(ComponentInfo {
             label: name.to_string(),
             kind: c.kind().to_string(),
@@ -237,7 +246,10 @@ impl Builder<'_> {
             local_history_bits: c.local_history_bits(),
             required_ghist_bits: c.required_ghist_bits(),
             profile: c.field_profile(),
-            storage_bits: c.storage().total_bits(),
+            storage_bits: storage.total_bits(),
+            storage,
+            index_fns: c.index_functions(),
+            is_custom: c.is_custom(),
             inputs,
             declared_inputs,
             is_selector,

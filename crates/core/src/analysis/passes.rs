@@ -1,4 +1,5 @@
-//! The five static analysis passes (L1–L5).
+//! The per-topology static analysis passes (L1–L5, plus the L6 dataflow
+//! passes from [`super::dataflow`]).
 //!
 //! Each pass is a pure function from a [`DesignModel`] (plus the
 //! [`AnalysisConfig`]) to diagnostics. Pass order follows the issue's
@@ -19,6 +20,9 @@ pub fn run_all(model: &DesignModel, cfg: &AnalysisConfig) -> Vec<Diagnostic> {
     out.extend(metadata(model, cfg));
     out.extend(storage(model, cfg));
     out.extend(reachability(model));
+    out.extend(super::dataflow::history_inference(model));
+    out.extend(super::dataflow::field_flow(model));
+    out.extend(super::dataflow::interference(model));
     out
 }
 

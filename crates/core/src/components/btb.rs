@@ -7,7 +7,9 @@
 //! affordable by the metadata field, which records the hit way at predict
 //! time so the update needs no second tag-match (Section III-G2).
 
-use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SnapError, SramModel, StateReader, StateWriter};
@@ -150,6 +152,23 @@ impl Component for Btb {
             may: FieldSet::KIND.union(FieldSet::TARGET),
             always: FieldSet::NONE,
         }
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        // All ways share one set index: a full-width PC hash over the
+        // per-slot row space. No history reaches the index.
+        let rows = self.sets() / self.cfg.width as u64;
+        let pc_bits = bits::clog2(rows);
+        (0..self.ways.len())
+            .map(|i| IndexDescriptor {
+                table: format!("btb-way{i}"),
+                sets: rows,
+                pc_bits,
+                ghist_bits: 0,
+                lhist_bits: 0,
+                path_bits: 0,
+            })
+            .collect()
     }
 
     fn storage(&self) -> StorageReport {

@@ -7,7 +7,9 @@
 //! it predicts nothing (pass-through); entries are allocated when the
 //! pipeline mispredicts.
 
-use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{
@@ -142,6 +144,17 @@ impl Component for Gtag {
 
     fn required_ghist_bits(&self) -> u32 {
         self.cfg.hist_bits
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        vec![IndexDescriptor {
+            table: "gtag-table".into(),
+            sets: self.cfg.entries,
+            pc_bits: bits::clog2(self.cfg.entries),
+            ghist_bits: self.cfg.hist_bits,
+            lhist_bits: 0,
+            path_bits: 0,
+        }]
     }
 
     fn storage(&self) -> StorageReport {

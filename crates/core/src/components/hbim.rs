@@ -8,7 +8,9 @@
 //! with a parameterized indexing option, so they can be indexed by a global
 //! history, local history, PC, or any hashed combination of the above".
 
-use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SaturatingCounter, SnapError, SramModel, StateReader, StateWriter};
@@ -318,6 +320,29 @@ impl Component for Hbim {
 
     fn required_ghist_bits(&self) -> u32 {
         self.cfg.index.global_history_bits()
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        let n = self.index_bits();
+        // `combine` masks the PC hash differently per scheme: full width for
+        // Pc/GShare/PathHash, 4 bits for Alpha-style GlobalHistory, 3 bits
+        // for LocalHistory, and the configured count for GSelect.
+        let (pc_bits, ghist_bits, lhist_bits, path_bits) = match self.cfg.index {
+            IndexScheme::Pc => (n, 0, 0, 0),
+            IndexScheme::GlobalHistory { bits } => (n.min(4), bits, 0, 0),
+            IndexScheme::GShare { hist_bits } => (n, hist_bits, 0, 0),
+            IndexScheme::GSelect { pc_bits, hist_bits } => (pc_bits, hist_bits, 0, 0),
+            IndexScheme::LocalHistory { bits } => (n.min(3), 0, bits, 0),
+            IndexScheme::PathHash { bits } => (n, 0, 0, bits),
+        };
+        vec![IndexDescriptor {
+            table: format!("{}-counters", self.kind()),
+            sets: self.table.rows_per_bank(),
+            pc_bits,
+            ghist_bits,
+            lhist_bits,
+            path_bits,
+        }]
     }
 
     fn storage(&self) -> StorageReport {

@@ -13,7 +13,9 @@
 //! as indirect jumps, passing everything else through — the same
 //! decoupling the paper's Fig 3 shows for the BTB.
 
-use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{
@@ -169,6 +171,24 @@ impl Component for Ittage {
 
     fn required_ghist_bits(&self) -> u32 {
         self.cfg.hist_lengths.iter().copied().max().unwrap_or(0)
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        let rows = self.cfg.table_entries / self.cfg.width as u64;
+        let n = bits::clog2(rows);
+        self.cfg
+            .hist_lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &hl)| IndexDescriptor {
+                table: format!("ittage-t{i}"),
+                sets: rows,
+                pc_bits: n,
+                ghist_bits: hl,
+                lhist_bits: 0,
+                path_bits: 0,
+            })
+            .collect()
     }
 
     fn storage(&self) -> StorageReport {

@@ -13,7 +13,8 @@
 //! corrupted.
 
 use crate::iface::{
-    Component, FieldProfile, FieldSet, FireEvent, PredictQuery, Response, UpdateEvent,
+    Component, FieldProfile, FieldSet, FireEvent, IndexDescriptor, PredictQuery, Response,
+    UpdateEvent,
 };
 use crate::types::{BranchKind, Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
@@ -140,6 +141,17 @@ impl Component for LoopPredictor {
             may: FieldSet::TAKEN,
             always: FieldSet::NONE,
         }
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        vec![IndexDescriptor {
+            table: "loop-table".into(),
+            sets: self.cfg.entries,
+            pc_bits: bits::clog2(self.cfg.entries),
+            ghist_bits: 0,
+            lhist_bits: 0,
+            path_bits: 0,
+        }]
     }
 
     fn storage(&self) -> StorageReport {

@@ -12,7 +12,9 @@
 //! it re-reads weights at update time — the physical cost shows up as an
 //! extra read port in its storage declaration.
 
-use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SnapError, SramModel, StateReader, StateWriter};
@@ -132,6 +134,18 @@ impl Component for Perceptron {
 
     fn required_ghist_bits(&self) -> u32 {
         self.cfg.hist_len
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        // History enters only the dot product, never the row index.
+        vec![IndexDescriptor {
+            table: "perceptron-weights".into(),
+            sets: self.cfg.entries,
+            pc_bits: bits::clog2(self.cfg.entries),
+            ghist_bits: 0,
+            lhist_bits: 0,
+            path_bits: 0,
+        }]
     }
 
     fn storage(&self) -> StorageReport {

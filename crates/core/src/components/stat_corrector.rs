@@ -9,7 +9,9 @@
 //! history lengths vote, and when their combined confidence is high they
 //! override the incoming direction.
 
-use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SnapError, SramModel, StateReader, StateWriter};
@@ -153,6 +155,24 @@ impl Component for StatisticalCorrector {
 
     fn required_ghist_bits(&self) -> u32 {
         self.cfg.hist_lengths.iter().copied().max().unwrap_or(0)
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        let rows = self.cfg.entries / self.cfg.width as u64;
+        let n = bits::clog2(rows);
+        self.cfg
+            .hist_lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &hl)| IndexDescriptor {
+                table: format!("sc-t{i}"),
+                sets: rows,
+                pc_bits: n,
+                ghist_bits: hl,
+                lhist_bits: 0,
+                path_bits: 0,
+            })
+            .collect()
     }
 
     fn storage(&self) -> StorageReport {

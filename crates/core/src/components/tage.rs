@@ -20,7 +20,9 @@
 //! a second read port (Section III-G4: "the metadata field is used to track
 //! the index of the provider and allocator tables").
 
-use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{Meta, PredictionBundle, StorageReport, MAX_FETCH_WIDTH};
 use cobra_sim::bits;
 use cobra_sim::{
@@ -247,6 +249,23 @@ impl Component for Tage {
 
     fn required_ghist_bits(&self) -> u32 {
         self.cfg.hist_lengths.last().copied().unwrap_or(0)
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        let n = bits::clog2(self.cfg.table_entries);
+        self.cfg
+            .hist_lengths
+            .iter()
+            .enumerate()
+            .map(|(i, &hl)| IndexDescriptor {
+                table: format!("tage-t{i}"),
+                sets: self.cfg.table_entries,
+                pc_bits: n,
+                ghist_bits: hl,
+                lhist_bits: 0,
+                path_bits: 0,
+            })
+            .collect()
     }
 
     fn storage(&self) -> StorageReport {

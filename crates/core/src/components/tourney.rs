@@ -8,7 +8,9 @@
 //! selector uses the metadata field to track the predictions made by the
 //! sub-predictors to determine an update for the counter table").
 
-use crate::iface::{Component, FieldProfile, FieldSet, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FieldSet, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{Meta, PredictionBundle, StorageReport};
 use cobra_sim::bits;
 use cobra_sim::{PortKind, SaturatingCounter, SnapError, SramModel, StateReader, StateWriter};
@@ -129,6 +131,19 @@ impl Component for Tourney {
 
     fn required_ghist_bits(&self) -> u32 {
         self.cfg.hist_bits
+    }
+
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        // `index` keeps only two PC bits (`mix64(pc) & 0x3`); the chooser
+        // row is chosen almost entirely by folded global history.
+        vec![IndexDescriptor {
+            table: "tourney-chooser".into(),
+            sets: self.cfg.entries,
+            pc_bits: bits::clog2(self.cfg.entries).min(2),
+            ghist_bits: self.cfg.hist_bits,
+            lhist_bits: 0,
+            path_bits: 0,
+        }]
     }
 
     fn storage(&self) -> StorageReport {

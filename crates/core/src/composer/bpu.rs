@@ -171,6 +171,31 @@ impl BranchPredictorUnit {
         // with structured diagnostics instead of building a pipeline whose
         // composition semantics are silently broken.
         crate::analysis::gate_design(design, cfg.fetch_width)?;
+        // Plan-soundness verifier (opt-in via COBRA_VERIFY_PLAN; CI sets
+        // it unconditionally): statically cross-check the lowered
+        // ExecutionPlan against the elaborated design. Errors reject the
+        // build; warnings (e.g. the Custom lowering fallback, P0401) are
+        // reported but do not block.
+        if crate::analysis::verify_env_enabled() {
+            let model = crate::analysis::DesignModel::build(
+                &design.name,
+                &design.topology,
+                &design.registry,
+                cfg.fetch_width,
+                design.ghist_bits,
+                design.lhist_entries,
+            )?;
+            let diags = crate::analysis::verify_pipeline(&pipeline, Some(&model));
+            let (errors, rest): (Vec<_>, Vec<_>) = diags.into_iter().partition(|d| d.is_error());
+            for d in &rest {
+                eprintln!("{}: {}", design.name, d.render(&design.topology));
+            }
+            if !errors.is_empty() {
+                return Err(ComposeError::Analysis {
+                    diagnostics: errors,
+                });
+            }
+        }
         let lhist_bits = pipeline.local_history_bits();
         if lhist_bits > 64 {
             return Err(ComposeError::LocalHistoryTooWide {

@@ -33,6 +33,7 @@ pub use bpu::{
     BpuConfig, BpuStats, BranchPredictorUnit, CommittedPacket, GhistRepairMode, PacketId,
 };
 pub use history_file::{HistoryFile, HistoryFileEntry};
+pub(crate) use pipeline::NodeFacts;
 pub use pipeline::{
     plan_env_enabled, PacketPrediction, PredictorPipeline, StageDescription, MAX_DEPTH,
 };

@@ -35,6 +35,16 @@ struct Node {
     label: String,
 }
 
+/// Static facts about one pipeline node, extracted for the plan verifier
+/// (which must not peek at the plan itself to re-derive ground truth).
+#[derive(Debug, Clone)]
+pub(crate) struct NodeFacts {
+    pub(crate) label: String,
+    pub(crate) latency: u8,
+    pub(crate) is_custom: bool,
+    pub(crate) inputs: Vec<usize>,
+}
+
 /// A compiled predictor pipeline: component nodes in dataflow order, the
 /// lowered [`ExecutionPlan`] driving the devirtualized packet path, and
 /// the stage-folding logic.
@@ -277,6 +287,22 @@ impl PredictorPipeline {
     /// Node labels in dataflow order (inputs before consumers).
     pub fn labels(&self) -> Vec<&str> {
         self.nodes.iter().map(|n| n.label.as_str()).collect()
+    }
+
+    /// Per-node static facts (label, latency, custom-lowering flag, input
+    /// edges) in dataflow order. This is the ground truth the plan
+    /// verifier re-derives fold schedules from and checks the lowered
+    /// [`ExecutionPlan`] against.
+    pub(crate) fn node_facts(&self) -> Vec<NodeFacts> {
+        self.nodes
+            .iter()
+            .map(|n| NodeFacts {
+                label: n.label.clone(),
+                latency: n.component.latency(),
+                is_custom: n.component.is_custom(),
+                inputs: n.inputs.clone(),
+            })
+            .collect()
     }
 
     /// The maximum local-history bits any component requests.

@@ -27,7 +27,9 @@ use crate::components::{
     Btb, Gtag, Hbim, Ittage, LoopPredictor, MicroBtb, Perceptron, StatisticalCorrector, Tage,
     Tourney,
 };
-use crate::iface::{Component, FieldProfile, FireEvent, PredictQuery, Response, UpdateEvent};
+use crate::iface::{
+    Component, FieldProfile, FireEvent, IndexDescriptor, PredictQuery, Response, UpdateEvent,
+};
 use crate::types::{AccessReport, Meta, PredictionBundle, StorageReport};
 use cobra_sim::{SnapError, StateReader, StateWriter};
 
@@ -165,6 +167,11 @@ impl ComponentKind {
         dispatch!(self, c => c.required_ghist_bits())
     }
 
+    /// See [`Component::index_functions`].
+    pub fn index_functions(&self) -> Vec<IndexDescriptor> {
+        dispatch!(self, c => c.index_functions())
+    }
+
     /// See [`Component::storage`].
     pub fn storage(&self) -> StorageReport {
         dispatch!(self, c => c.storage())
@@ -277,6 +284,9 @@ impl Component for ComponentKind {
     fn required_ghist_bits(&self) -> u32 {
         ComponentKind::required_ghist_bits(self)
     }
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        ComponentKind::index_functions(self)
+    }
     fn storage(&self) -> StorageReport {
         ComponentKind::storage(self)
     }
@@ -378,7 +388,7 @@ impl ExecutionPlan {
             input_range.push((lo, input_ix.len() as u32));
         }
         let wants_hist: Vec<bool> = latency.iter().map(|&l| l >= 2).collect();
-        let mut stage_sched = Vec::with_capacity(depth as usize);
+        let mut stage_sched: Vec<Vec<u32>> = Vec::with_capacity(depth as usize);
         // Stage 1 folds everything: outputs go from their initial empty
         // bundles to composed values.
         stage_sched.push((0..n as u32).collect());
@@ -404,6 +414,13 @@ impl ExecutionPlan {
                     .map(|(i, _)| i as u32)
                     .collect(),
             );
+        }
+        // Deliberate lowering bug for the CI mutation-smoke leg: drop the
+        // last node from the final stage schedule. The plan verifier must
+        // flag this statically (P0102) without running a single packet.
+        #[cfg(cobra_seeded_bug)]
+        if let Some(last) = stage_sched.last_mut() {
+            last.pop();
         }
         Self {
             stage_sched,

@@ -244,6 +244,48 @@ impl FieldProfile {
     };
 }
 
+/// Static description of how one SRAM table inside a component forms its
+/// row index from the prediction-time inputs.
+///
+/// The analyzer's interference pass compares these descriptors across a
+/// composition: two tables with the same set count whose indices draw on
+/// the same history source (and too few PC bits to de-correlate them) will
+/// alias on the same pathological streams — the Tournament/`xz` diagnosis
+/// from the paper's Section V-B, derived without running a trace.
+///
+/// `pc_bits` counts the bits of (hashed) program counter that actually
+/// reach the index, *after* any masking the component applies — an
+/// Alpha-style global-history BIM that folds in only `pc & 0xf`
+/// reports 4 here even though the hash saw the full PC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndexDescriptor {
+    /// SRAM macro name this index drives (matches the `StorageReport` name).
+    pub table: String,
+    /// Number of selectable rows per bank (the index space).
+    pub sets: u64,
+    /// PC bits that survive into the index after masking.
+    pub pc_bits: u32,
+    /// Global-history bits folded into the index.
+    pub ghist_bits: u32,
+    /// Local-history bits folded into the index.
+    pub lhist_bits: u32,
+    /// Path-history bits folded into the index.
+    pub path_bits: u32,
+}
+
+impl IndexDescriptor {
+    /// Total history bits (of any flavor) contributing to the index.
+    pub fn history_bits(&self) -> u32 {
+        self.ghist_bits + self.lhist_bits + self.path_bits
+    }
+
+    /// History-source signature used for cross-component correlation:
+    /// two indices with identical signatures hash the same input stream.
+    pub fn history_signature(&self) -> (u32, u32, u32) {
+        (self.ghist_bits, self.lhist_bits, self.path_bits)
+    }
+}
+
 /// A COBRA predictor sub-component.
 ///
 /// Implementations are clocked predictor structures (counter tables, BTBs,
@@ -305,6 +347,16 @@ pub trait Component {
     /// history".
     fn required_ghist_bits(&self) -> u32 {
         0
+    }
+
+    /// Static per-table index-function descriptors for the analyzer's
+    /// interference pass. One entry per SRAM whose row index is computed
+    /// from prediction-time inputs; fully-associative (CAM) structures and
+    /// components without SRAM return nothing. The default is empty, which
+    /// exempts the component from aliasing analysis rather than producing
+    /// false reports.
+    fn index_functions(&self) -> Vec<IndexDescriptor> {
+        Vec::new()
     }
 
     /// Physical storage declaration for the area model.

@@ -58,8 +58,8 @@ pub mod validate;
 
 pub use error::{ComposeError, Span};
 pub use iface::{
-    Component, FieldProfile, FieldSet, FireEvent, HistoryView, PredictQuery, Response,
-    SlotResolution, UpdateEvent,
+    Component, FieldProfile, FieldSet, FireEvent, HistoryView, IndexDescriptor, PredictQuery,
+    Response, SlotResolution, UpdateEvent,
 };
 pub use types::{
     AccessReport, BranchKind, Meta, PredictionBundle, SlotPrediction, StorageReport,
