@@ -261,6 +261,7 @@ mod tests {
             spec: spec(1024, entry_bits, PortKind::DualPort),
             reads,
             writes,
+            rows_touched: 0,
         };
         let base = m.report_energy_nj(&mk(8, 1000, 100));
         assert!(m.report_energy_nj(&mk(8, 2000, 100)) > base);

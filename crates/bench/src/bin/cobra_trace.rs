@@ -201,6 +201,60 @@ fn top_pcs(pc_blame: &PcBlame, labels: &[String], top: usize) -> Vec<PcRow> {
     rows
 }
 
+/// End-of-run occupancy gauges, paired with the component labels the
+/// SRAM rows belong to (dataflow order, no static row).
+struct RunGauges {
+    gauges: cobra_core::obs::interval::IntervalGauges,
+    labels: Vec<String>,
+}
+
+fn render_gauges(g: &RunGauges) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "\noccupancy: history file {} in flight, RAS depth {} (high-water {})",
+        g.gauges.hf_occupancy, g.gauges.ras_depth, g.gauges.ras_high_water
+    );
+    let touched_any = g.gauges.sram_rows.iter().any(|&(_, total)| total > 0);
+    if touched_any {
+        let _ = writeln!(out, "SRAM rows touched since reset:");
+        for (label, &(touched, total)) in g.labels.iter().zip(&g.gauges.sram_rows) {
+            if total == 0 {
+                let _ = writeln!(out, "  {label:<14} flop-only");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "  {label:<14} {touched:>8} / {total:>8} rows ({:.1}%)",
+                    touched as f64 * 100.0 / total as f64
+                );
+            }
+        }
+    }
+    out
+}
+
+fn json_gauges(g: &RunGauges) -> String {
+    let rows: Vec<String> = g
+        .labels
+        .iter()
+        .zip(&g.gauges.sram_rows)
+        .map(|(label, &(touched, total))| {
+            format!(
+                "{{\"label\":{},\"rows_touched\":{touched},\"rows_total\":{total}}}",
+                jsonv::escape(label)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"hf_occupancy\":{},\"ras_depth\":{},\"ras_high_water\":{},\"sram\":[{}]}}",
+        g.gauges.hf_occupancy,
+        g.gauges.ras_depth,
+        g.gauges.ras_high_water,
+        rows.join(",")
+    )
+}
+
 fn render_human(report: &PerfReport, pcs: &[PcRow]) -> String {
     use std::fmt::Write;
     let mut out = String::new();
@@ -308,7 +362,7 @@ fn json_attribution(a: &AttributionReport) -> String {
     )
 }
 
-fn render_json(report: &PerfReport, pcs: &[PcRow]) -> String {
+fn render_json(report: &PerfReport, pcs: &[PcRow], gauges: &RunGauges) -> String {
     let c = &report.counters;
     let pc_rows: Vec<String> = pcs
         .iter()
@@ -326,7 +380,8 @@ fn render_json(report: &PerfReport, pcs: &[PcRow]) -> String {
         .collect();
     format!(
         "{{\"design\":{},\"workload\":{},\"insts\":{},\"cycles\":{},\"ipc\":{:.4},\
-         \"mpki\":{:.4},\"acc\":{:.4},\"branch_misses\":{},\"attribution\":{},\"top_pcs\":[{}]}}",
+         \"mpki\":{:.4},\"acc\":{:.4},\"branch_misses\":{},\"attribution\":{},\
+         \"gauges\":{},\"top_pcs\":[{}]}}",
         jsonv::escape(&report.design),
         jsonv::escape(&report.workload),
         c.committed_insts,
@@ -336,6 +391,7 @@ fn render_json(report: &PerfReport, pcs: &[PcRow]) -> String {
         c.branch_accuracy(),
         c.branch_misses(),
         json_attribution(&report.attribution),
+        json_gauges(gauges),
         pc_rows.join(",")
     )
 }
@@ -360,8 +416,36 @@ fn selfcheck(report: &PerfReport, json_report: &str, trace_path: Option<&str>) -
             a.packets_with_prediction
         ));
     }
-    if let Err(e) = jsonv::parse(json_report) {
-        bad.push(format!("--format json report is not valid JSON: {e}"));
+    match jsonv::parse(json_report) {
+        Err(e) => bad.push(format!("--format json report is not valid JSON: {e}")),
+        Ok(v) => {
+            // One SRAM utilization row per component (the static row has
+            // no storage), each with touched <= total.
+            let sram_rows = v
+                .get("gauges")
+                .and_then(|g| g.get("sram"))
+                .and_then(jsonv::Json::as_arr);
+            match sram_rows {
+                None => bad.push("json report is missing gauges.sram".into()),
+                Some(rows) => {
+                    if rows.len() + 1 != a.components.len() {
+                        bad.push(format!(
+                            "gauges.sram has {} rows for {} components (+ static)",
+                            rows.len(),
+                            a.components.len()
+                        ));
+                    }
+                    for r in rows {
+                        let touched = r.get("rows_touched").and_then(jsonv::Json::as_u64);
+                        let total = r.get("rows_total").and_then(jsonv::Json::as_u64);
+                        match (touched, total) {
+                            (Some(t), Some(n)) if t <= n => {}
+                            _ => bad.push("gauges.sram row with touched > total".into()),
+                        }
+                    }
+                }
+            }
+        }
     }
     if let Some(path) = trace_path {
         match std::fs::read_to_string(path) {
@@ -452,14 +536,19 @@ fn main() -> ExitCode {
         .pc_attribution()
         .map(|m| top_pcs(m, &blame_labels, o.top))
         .unwrap_or_default();
+    let gauges = RunGauges {
+        gauges: core.interval_gauges(),
+        labels: node_labels.clone(),
+    };
 
     // The JSON report is always rendered so --selfcheck covers it even in
     // human mode.
-    let json_report = render_json(&report, &pcs);
+    let json_report = render_json(&report, &pcs, &gauges);
     if o.json {
         println!("{json_report}");
     } else {
         print!("{}", render_human(&report, &pcs));
+        print!("{}", render_gauges(&gauges));
     }
 
     if let Some(path) = &o.metrics {
@@ -468,6 +557,7 @@ fn main() -> ExitCode {
             wall,
             trace: None,
             checkpoint: None,
+            metrics: None,
         };
         let line = runner::metrics_record("cobra-trace", &result);
         if let Err(e) = runner::write_metrics(path, std::slice::from_ref(&line)) {

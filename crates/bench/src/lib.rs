@@ -44,6 +44,15 @@
 //! byte-identical `PerfReport`, enforced by the checkpoint's identity
 //! header. Checkpoints compose with `COBRA_TRACE_DIR`: the restored
 //! workload cursor fast-forwards whichever stream source the job uses.
+//!
+//! Setting `COBRA_INTERVAL=<n>` arms interval telemetry on every run:
+//! each job additionally writes a `.cbm` metrics file (one record per
+//! `n` committed instructions — see `cobra_uarch::metrics` and
+//! `docs/METRICS_FORMAT.md`) to `$COBRA_INTERVAL_DIR` (default
+//! `metrics/`), named `<design>--<workload>.cbm`. `COBRA_PROGRESS=<n>`
+//! makes each job print a heartbeat line to stderr every `n` committed
+//! instructions (instructions done, MIPS, ETA). Both are stderr/side-file
+//! only: stdout stays byte-identical with telemetry on or off.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -124,6 +133,9 @@ pub struct RunOutcome {
     /// warm-state checkpoint (`COBRA_CKPT_DIR`); `None` for runs that
     /// warmed up from scratch.
     pub checkpoint: Option<PathBuf>,
+    /// The `.cbm` interval-telemetry file written, when `COBRA_INTERVAL`
+    /// armed the engine; `None` for untelemetered runs.
+    pub metrics: Option<PathBuf>,
 }
 
 /// The directory named by `COBRA_TRACE_DIR`, if set and non-empty.
@@ -184,6 +196,47 @@ pub fn ckpt_dir() -> Option<PathBuf> {
     Some(path)
 }
 
+/// The directory interval-telemetry `.cbm` files are written to:
+/// `COBRA_INTERVAL_DIR` if set and non-empty, else `metrics/` under the
+/// current directory. Created on first write, not here.
+pub fn interval_dir() -> PathBuf {
+    match std::env::var("COBRA_INTERVAL_DIR") {
+        Ok(d) if !d.trim().is_empty() => PathBuf::from(d.trim()),
+        _ => PathBuf::from("metrics"),
+    }
+}
+
+/// The file name an interval-telemetry stream of `design` on `workload`
+/// uses: `<design>--<workload>.cbm` (same double-dash convention as
+/// [`ckpt_file_name`]).
+pub fn metrics_file_name(design: &str, workload: &str) -> String {
+    format!("{design}--{workload}.cbm")
+}
+
+/// The `COBRA_PROGRESS` heartbeat period in committed instructions, if
+/// set and positive. An unparsable value warns once on stderr and
+/// disables the heartbeat.
+pub fn progress_every() -> Option<u64> {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    let v = std::env::var("COBRA_PROGRESS").ok()?;
+    let v = v.trim();
+    if v.is_empty() {
+        return None;
+    }
+    match v.replace('_', "").parse::<u64>() {
+        Ok(n) if n > 0 => Some(n),
+        _ => {
+            WARNED.call_once(|| {
+                eprintln!(
+                    "warning: COBRA_PROGRESS={v:?} is not a positive integer; \
+                     heartbeat off"
+                );
+            });
+            None
+        }
+    }
+}
+
 /// The file name a checkpoint of `design` on `workload` uses:
 /// `<design>--<workload>.cbs` (the double dash keeps design names with
 /// single dashes, like `TAGE-L`, unambiguous).
@@ -238,10 +291,15 @@ pub fn run_one_sourced(
                 core.bpu_mut().retarget_env_tracer(tag);
             }
             let checkpoint = restore_into(design, &cfg, &spec.name, warmup, &mut core);
+            install_progress(&mut core, tag, warmup + measure);
+            let report = core.run_with_warmup(warmup, measure, &spec.name);
+            let metrics =
+                write_interval_metrics(design, &cfg, &spec.name, warmup, &mut core, &report);
             RunOutcome {
-                report: core.run_with_warmup(warmup, measure, &spec.name),
+                report,
                 trace: Some(path),
                 checkpoint,
+                metrics,
             }
         }
         None => {
@@ -251,11 +309,108 @@ pub fn run_one_sourced(
                 core.bpu_mut().retarget_env_tracer(tag);
             }
             let checkpoint = restore_into(design, &cfg, &spec.name, warmup, &mut core);
+            install_progress(&mut core, tag, warmup + measure);
+            let report = core.run_with_warmup(warmup, measure, &spec.name);
+            let metrics =
+                write_interval_metrics(design, &cfg, &spec.name, warmup, &mut core, &report);
             RunOutcome {
-                report: core.run_with_warmup(warmup, measure, &spec.name),
+                report,
                 trace: None,
                 checkpoint,
+                metrics,
             }
+        }
+    }
+}
+
+/// Installs the `COBRA_PROGRESS` heartbeat on a freshly-built core:
+/// every `COBRA_PROGRESS` committed instructions, one stderr line with
+/// instructions done, simulated MIPS, and the wall-clock ETA to
+/// `target_insts` (warm-up plus measured region). Stderr only — stdout
+/// stays stable for diffing.
+fn install_progress<S: InstructionStream>(
+    core: &mut Core<S>,
+    tag: Option<&str>,
+    target_insts: u64,
+) {
+    let Some(every) = progress_every() else {
+        return;
+    };
+    let label = tag.unwrap_or("run").to_string();
+    let started = std::time::Instant::now();
+    core.set_progress(
+        every,
+        Box::new(move |insts, cycles| {
+            let secs = started.elapsed().as_secs_f64();
+            let mips = if secs > 0.0 {
+                insts as f64 / secs / 1e6
+            } else {
+                0.0
+            };
+            let eta = if insts > 0 && target_insts > insts {
+                secs * (target_insts - insts) as f64 / insts as f64
+            } else {
+                0.0
+            };
+            eprintln!(
+                "[runner] progress {label}: {insts}/{target_insts} insts \
+                 ({:.1}%), {cycles} cycles, {mips:.2} MIPS, ETA {eta:.1}s",
+                insts as f64 * 100.0 / target_insts.max(1) as f64
+            );
+        }),
+    );
+}
+
+/// Drains the interval series a measured run collected (if
+/// `COBRA_INTERVAL` armed the engine) and writes it as a `.cbm` file to
+/// [`interval_dir`], bound to the run's identity and carrying the
+/// measured-region totals from `report` so any reader can verify
+/// reconciliation self-contained. Returns the path written.
+///
+/// Write failures warn on stderr but never fail the run — telemetry is
+/// an observability side channel, and the tables on stdout are the
+/// primary artifact.
+fn write_interval_metrics<S: InstructionStream>(
+    design: &Design,
+    cfg: &CoreConfig,
+    workload: &str,
+    warmup: u64,
+    core: &mut Core<S>,
+    report: &PerfReport,
+) -> Option<PathBuf> {
+    let series = core.take_intervals()?;
+    let meta = cobra_uarch::CbmMeta {
+        design: design.name.clone(),
+        topology: design.topology.clone(),
+        config_hash: cobra_uarch::config_hash(design, cfg),
+        workload: workload.to_string(),
+        warmup_insts: warmup,
+        interval_n: series.interval_n,
+        sig_buckets: cobra_core::obs::interval::SIG_BUCKETS as u64,
+    };
+    let dir = interval_dir();
+    let path = dir.join(metrics_file_name(&design.name, workload));
+    let write = || -> Result<(), String> {
+        std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+        let file = std::fs::File::create(&path).map_err(|e| e.to_string())?;
+        cobra_uarch::save_metrics(
+            std::io::BufWriter::new(file),
+            &meta,
+            &series,
+            &report.counters.to_host(),
+            &report.attribution,
+        )
+        .map_err(|e| e.to_string())?;
+        Ok(())
+    };
+    match write() {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!(
+                "warning: could not write interval metrics {}: {e}",
+                path.display()
+            );
+            None
         }
     }
 }

@@ -155,6 +155,10 @@ pub struct JobResult {
     /// warmed up from scratch. Carried for the same reporting surfaces
     /// as `trace`.
     pub checkpoint: Option<std::path::PathBuf>,
+    /// The `.cbm` interval-telemetry file the job wrote when
+    /// `COBRA_INTERVAL` armed the engine (`None` otherwise). Carried for
+    /// the same reporting surfaces as `trace`.
+    pub metrics: Option<std::path::PathBuf>,
 }
 
 impl JobResult {
@@ -192,6 +196,7 @@ pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
             wall: t.elapsed(),
             trace: outcome.trace,
             checkpoint: outcome.checkpoint,
+            metrics: outcome.metrics,
         };
         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
         // Replayed / restored jobs carry their provenance paths so
@@ -203,6 +208,9 @@ pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
         }
         if let Some(p) = &r.checkpoint {
             note.push_str(&format!(" ckpt={}", p.display()));
+        }
+        if let Some(p) = &r.metrics {
+            note.push_str(&format!(" cbm={}", p.display()));
         }
         eprintln!(
             "[runner] {n}/{total} {tag} {:<28} {:>7.2}s {:>7.2} MIPS{note}",
@@ -334,6 +342,12 @@ pub fn metrics_record(job_id: &str, r: &JobResult) -> String {
             jsonv::escape(&p.display().to_string())
         ));
     }
+    if let Some(p) = &r.metrics {
+        trace_field.push_str(&format!(
+            ",\"metrics\":{}",
+            jsonv::escape(&p.display().to_string())
+        ));
+    }
     format!(
         "{{\"job\":{},\"design\":{},\"workload\":{},\"wall_s\":{:.6},\"mips\":{:.3},\
          \"ipc\":{:.4},\"mpki\":{:.4},\"acc\":{:.4},\"insts\":{},\"cycles\":{},\
@@ -423,6 +437,7 @@ mod tests {
             wall: Duration::from_millis(1234),
             trace: None,
             checkpoint: None,
+            metrics: None,
         };
         let line = metrics_record(&job_id(3), &r);
         let v = jsonv::parse(&line).expect("record parses");

@@ -191,6 +191,7 @@ impl Component for Btb {
                     spec: way.spec(),
                     reads,
                     writes,
+                    rows_touched: way.rows_touched(),
                 }
             })
             .collect()

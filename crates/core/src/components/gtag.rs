@@ -170,6 +170,7 @@ impl Component for Gtag {
             spec: self.table.spec(),
             reads,
             writes,
+            rows_touched: self.table.rows_touched(),
         }]
     }
 

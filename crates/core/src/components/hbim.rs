@@ -358,6 +358,7 @@ impl Component for Hbim {
             spec: self.table.spec(),
             reads,
             writes,
+            rows_touched: self.table.rows_touched(),
         }]
     }
 

@@ -210,6 +210,7 @@ impl Component for Ittage {
                     spec: t.spec(),
                     reads,
                     writes,
+                    rows_touched: t.rows_touched(),
                 }
             })
             .collect()

@@ -161,6 +161,7 @@ impl Component for Perceptron {
             spec: self.weights.spec(),
             reads,
             writes,
+            rows_touched: self.weights.rows_touched(),
         }]
     }
 

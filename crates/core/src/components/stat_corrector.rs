@@ -194,6 +194,7 @@ impl Component for StatisticalCorrector {
                     spec: t.spec(),
                     reads,
                     writes,
+                    rows_touched: t.rows_touched(),
                 }
             })
             .collect()

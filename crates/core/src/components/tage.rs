@@ -288,6 +288,7 @@ impl Component for Tage {
                     spec: t.spec(),
                     reads,
                     writes,
+                    rows_touched: t.rows_touched(),
                 }
             })
             .collect()

@@ -159,6 +159,7 @@ impl Component for Tourney {
             spec: self.chooser.spec(),
             reads,
             writes,
+            rows_touched: self.chooser.rows_touched(),
         }]
     }
 

@@ -848,6 +848,21 @@ impl BranchPredictorUnit {
         self.pipeline.port_violations()
     }
 
+    /// Per-component SRAM touched-row utilization, in the pipeline's
+    /// dataflow (label) order: `(rows written since construction or
+    /// restore, total rows)` summed over each component's memories.
+    /// Flop-only components report `(0, 0)`.
+    pub fn sram_utilization(&self) -> Vec<(u64, u64)> {
+        self.accesses_by_component()
+            .iter()
+            .map(|(_, reports)| {
+                reports.iter().fold((0u64, 0u64), |(touched, total), r| {
+                    (touched + r.rows_touched, total + r.spec.entries)
+                })
+            })
+            .collect()
+    }
+
     /// Storage of the generated management structures — history file and
     /// history providers (Fig 8's "Meta" bar).
     pub fn meta_storage(&self) -> StorageReport {
@@ -1026,6 +1041,19 @@ impl BranchPredictorUnit {
     /// Whether the compiled execution plan drives the packet path.
     pub fn plan_enabled(&self) -> bool {
         self.pipeline.plan_enabled()
+    }
+
+    /// Test hook: arms or disarms the pipeline's per-node self-profiler
+    /// in-process, independent of the `COBRA_PROFILE` gate.
+    #[doc(hidden)]
+    pub fn force_profiler(&mut self, enabled: bool) {
+        self.pipeline.force_profiler(enabled);
+    }
+
+    /// The self-profiler's rendered per-node table, if armed and at least
+    /// one packet was sampled.
+    pub fn profile_report(&self) -> Option<String> {
+        self.pipeline.profile_report()
     }
 }
 

@@ -21,9 +21,11 @@ use crate::composer::registry::{ComponentRegistry, Design};
 use crate::composer::topology::Topology;
 use crate::error::{ComposeError, Span};
 use crate::iface::{FireEvent, HistoryView, PredictQuery, Response, UpdateEvent};
+use crate::obs::interval::NodeProfiler;
 use crate::obs::{PacketAttribution, MAX_TRACKED_COMPONENTS, NO_PROVIDER};
 use crate::types::{Meta, PredictionBundle, SlotPrediction, StorageReport};
 use cobra_sim::{SnapError, StateReader, StateWriter};
+use std::time::Instant;
 
 /// Maximum supported pipeline depth (response latency of the slowest
 /// component).
@@ -62,6 +64,11 @@ pub struct PredictorPipeline {
     /// baseline, `Some(bytes)` holding the node's full serialized state
     /// otherwise. Empty when unarmed.
     node_baselines: Vec<Option<Vec<u8>>>,
+    /// Hot-path self-profiler (`COBRA_PROFILE`): samples per-node predict
+    /// and compose wall time on the plan path, 1 packet in 16. Renders its
+    /// table to stderr on drop. `None` (the default) costs the packet path
+    /// a single pointer-null check.
+    profiler: Option<Box<NodeProfiler>>,
 }
 
 /// `true` unless `COBRA_PLAN` is `off` / `0` / `interpreter`. Read at
@@ -152,6 +159,11 @@ impl PredictorPipeline {
         let plan = ExecutionPlan::lower(nodes.len(), depth, latencies, &custom, |i| {
             nodes[i].inputs.clone()
         });
+        let profiler = crate::obs::interval::profile_enabled().then(|| {
+            Box::new(NodeProfiler::new(
+                nodes.iter().map(|n| n.label.clone()).collect(),
+            ))
+        });
         Ok(Self {
             nodes,
             final_node,
@@ -161,6 +173,7 @@ impl PredictorPipeline {
             scratch: PlanScratch::default(),
             plan_enabled: plan_env_enabled(),
             node_baselines: Vec::new(),
+            profiler,
         })
     }
 
@@ -272,6 +285,23 @@ impl PredictorPipeline {
     /// touching the environment.
     pub fn force_plan(&mut self, enabled: bool) {
         self.plan_enabled = enabled;
+    }
+
+    /// Test hook: arms (or disarms) the per-node self-profiler in-process,
+    /// independent of the `COBRA_PROFILE` gate read at compile time.
+    #[doc(hidden)]
+    pub fn force_profiler(&mut self, on: bool) {
+        self.profiler = on.then(|| {
+            Box::new(NodeProfiler::new(
+                self.nodes.iter().map(|n| n.label.clone()).collect(),
+            ))
+        });
+    }
+
+    /// The self-profiler's rendered table, if armed and any packet was
+    /// sampled (the same table it prints to stderr on drop).
+    pub fn profile_report(&self) -> Option<String> {
+        self.profiler.as_ref().and_then(|p| p.render())
     }
 
     /// Fetch-packet width in slots.
@@ -500,6 +530,10 @@ impl PredictorPipeline {
     ) {
         let n = self.nodes.len();
         let mut scratch = std::mem::take(&mut self.scratch);
+        // The profiler is moved out for the duration of the packet so the
+        // node iteration below can borrow `self.nodes` mutably.
+        let mut prof = self.profiler.take();
+        let sample = prof.as_deref_mut().is_some_and(NodeProfiler::tick);
         scratch.responses.clear();
         for (i, node) in self.nodes.iter_mut().enumerate() {
             let q = PredictQuery {
@@ -508,7 +542,15 @@ impl PredictorPipeline {
                 width,
                 hist: self.plan.wants_hist[i].then_some(*hist),
             };
-            scratch.responses.push(node.component.predict(&q));
+            if sample {
+                let t0 = Instant::now();
+                scratch.responses.push(node.component.predict(&q));
+                if let Some(p) = prof.as_deref_mut() {
+                    p.record_predict(i, t0);
+                }
+            } else {
+                scratch.responses.push(node.component.predict(&q));
+            }
         }
 
         out.stages.clear();
@@ -543,7 +585,16 @@ impl PredictorPipeline {
                         &scratch.inputs_buf
                     }
                 };
-                let composed = node.component.compose(width, own, inputs);
+                let composed = if sample {
+                    let t0 = Instant::now();
+                    let c = node.component.compose(width, own, inputs);
+                    if let Some(p) = prof.as_deref_mut() {
+                        p.record_compose(i, t0);
+                    }
+                    c
+                } else {
+                    node.component.compose(width, own, inputs)
+                };
                 if lat == d {
                     out.metas[i] = node.component.finalize_meta(&scratch.responses[i], inputs);
                 }
@@ -567,6 +618,7 @@ impl PredictorPipeline {
             width,
         );
         self.scratch = scratch;
+        self.profiler = prof;
     }
 
     /// Broadcasts a `fire` event; each component receives its own metadata.
@@ -1016,6 +1068,35 @@ mod tests {
         assert!(d[0].responders.is_empty());
         assert_eq!(d[1].responders.len(), 2);
         assert_eq!(d[2].responders, vec!["TOURNEY3".to_string()]);
+    }
+
+    #[test]
+    fn profiler_does_not_change_predictions() {
+        let mk = || {
+            let mut p = compile("TOURNEY3 > [GBIM2, LBIM2]");
+            p.force_plan(true);
+            p
+        };
+        let mut plain = mk();
+        let mut profiled = mk();
+        profiled.force_profiler(true);
+        let ghist = HistoryRegister::new(16);
+        let hist = HistoryView {
+            ghist: &ghist,
+            lhist: 0,
+            phist: 0,
+        };
+        for i in 0..40u64 {
+            let pc = 0x1000 + (i % 7) * 0x40;
+            let a = plain.predict_packet(i, pc, &hist);
+            let b = profiled.predict_packet(i, pc, &hist);
+            assert_eq!(a, b, "profiling must not perturb predictions");
+        }
+        assert!(
+            profiled.profile_report().is_some(),
+            "40 packets sample at least once"
+        );
+        assert!(plain.profile_report().is_none());
     }
 
     #[test]

@@ -441,6 +441,12 @@ impl ExecutionPlan {
     pub fn total_folds(&self) -> usize {
         self.stage_sched.iter().map(Vec::len).sum()
     }
+
+    /// Number of component nodes the plan was lowered for (the
+    /// self-profiler's row count).
+    pub fn node_count(&self) -> usize {
+        self.latency.len()
+    }
 }
 
 /// Reusable per-packet buffers, held by the pipeline so the plan path

@@ -17,6 +17,10 @@
 //!   ([`PacketAttribution`]).
 //! * **Event tracing** ([`trace`]): an opt-in structured per-event stream
 //!   (JSONL or Chrome `trace_event`), zero-cost when off.
+//! * **Interval telemetry** ([`interval`]): time-resolved per-component
+//!   deltas, occupancy gauges, and phase signatures every `COBRA_INTERVAL`
+//!   committed instructions, plus the `COBRA_PROFILE` plan-node
+//!   self-profiler — both off by default and stdout-invisible when on.
 //!
 //! Attribution is *operational*: at the final pipeline stage, each
 //! predicted field of each slot is traced back through the composition to
@@ -26,6 +30,7 @@
 //! the value. A field no component proposed (an arbiter synthesizing a
 //! merge) is credited to the composing node itself.
 
+pub mod interval;
 pub mod trace;
 
 use crate::types::{BranchKind, PredictionBundle, SlotPrediction, MAX_FETCH_WIDTH};

@@ -391,6 +391,10 @@ pub struct AccessReport {
     pub reads: u64,
     /// Lifetime writes.
     pub writes: u64,
+    /// Distinct rows written at least once — the touched-set
+    /// utilization numerator interval telemetry reports against
+    /// `spec.entries`.
+    pub rows_touched: u64,
 }
 
 /// A component's declaration of its physical storage: SRAM macros plus

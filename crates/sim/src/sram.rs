@@ -131,6 +131,11 @@ pub struct SramModel<T> {
     total_reads: u64,
     total_writes: u64,
     violations: Vec<PortViolation>,
+    /// Rows written at least once since construction or the last
+    /// [`load_state`](Self::load_state) — the touched-set utilization
+    /// gauge interval telemetry reports.
+    touched_flag: Vec<bool>,
+    rows_touched: u64,
     /// Armed reference state for dirty-row resets (`None` when unarmed).
     baseline: Option<Box<SramBaseline<T>>>,
 }
@@ -200,6 +205,8 @@ impl<T: Clone> SramModel<T> {
             total_reads: 0,
             total_writes: 0,
             violations: Vec::new(),
+            touched_flag: vec![false; entries as usize],
+            rows_touched: 0,
             baseline: None,
         }
     }
@@ -291,6 +298,7 @@ impl<T: Clone> SramModel<T> {
         self.writes_this_cycle[bank] += 1;
         self.total_writes += 1;
         self.check_budget(bank);
+        self.mark_touched(index);
         self.mark_dirty(index);
         self.data[index as usize] = value;
     }
@@ -305,8 +313,18 @@ impl<T: Clone> SramModel<T> {
     /// Writes without consuming a port — for initialization and for repair
     /// paths that in hardware restore state held in pipeline registers.
     pub fn poke(&mut self, index: u64, value: T) {
+        self.mark_touched(index);
         self.mark_dirty(index);
         self.data[index as usize] = value;
+    }
+
+    #[inline]
+    fn mark_touched(&mut self, index: u64) {
+        let f = &mut self.touched_flag[index as usize];
+        if !*f {
+            *f = true;
+            self.rows_touched += 1;
+        }
     }
 
     #[inline]
@@ -393,6 +411,14 @@ impl<T: Clone> SramModel<T> {
         (self.total_reads, self.total_writes)
     }
 
+    /// Rows written at least once since construction (or since the last
+    /// [`load_state`](Self::load_state), which resets the touched set) —
+    /// the utilization numerator interval telemetry reports against
+    /// [`len`](Self::len).
+    pub fn rows_touched(&self) -> u64 {
+        self.rows_touched
+    }
+
     /// Number of entries.
     pub fn len(&self) -> u64 {
         self.spec.entries
@@ -445,8 +471,10 @@ impl<T: Clone> SramModel<T> {
         mut cell: impl FnMut(&mut StateReader<'_>) -> Result<T, SnapError>,
     ) -> Result<(), SnapError> {
         // A restore replaces the whole state; any armed baseline no longer
-        // describes it.
+        // describes it, and the touched-set gauge restarts.
         self.baseline = None;
+        self.touched_flag.fill(false);
+        self.rows_touched = 0;
         r.open_section("sram")?;
         self.cycle = r.read_u64("sram cycle")?;
         for x in &mut self.reads_this_cycle {
@@ -660,6 +688,31 @@ mod tests {
         s.load_state(&mut r, |r| Ok(r.read_u64("cell")? as u32))
             .unwrap();
         assert!(!s.baseline_armed());
+    }
+
+    #[test]
+    fn rows_touched_counts_distinct_written_rows() {
+        let mut s = SramModel::new(16, 4, PortKind::DualPort, 0u32);
+        assert_eq!(s.rows_touched(), 0);
+        s.begin_cycle(0);
+        s.write(3, 1);
+        s.write(3, 2); // same row: still one touched row
+        s.poke(7, 9);
+        let _ = *s.read(5); // reads do not touch
+        assert_eq!(s.rows_touched(), 2);
+        // Dirty-baseline resets do not clear the touched gauge...
+        s.arm_baseline();
+        s.write(9, 1);
+        s.reset_to_baseline();
+        assert_eq!(s.rows_touched(), 3);
+        // ...but a full state restore does.
+        let mut w = StateWriter::new();
+        s.save_state(&mut w, |w, &v| w.write_u64(u64::from(v)));
+        let bytes = w.finish();
+        let mut r = StateReader::new(&bytes);
+        s.load_state(&mut r, |r| Ok(r.read_u64("cell")? as u32))
+            .unwrap();
+        assert_eq!(s.rows_touched(), 0);
     }
 
     #[test]

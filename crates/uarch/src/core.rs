@@ -20,6 +20,9 @@ use crate::perf::{PerfCounters, PerfReport};
 use crate::program::{CfiOutcome, DynInst, InstructionStream, Op, StaticInst};
 use crate::ras::{RasSnapshot, ReturnAddressStack};
 use cobra_core::composer::{BranchPredictorUnit, Design, GhistRepairMode, PacketId};
+use cobra_core::obs::interval::{
+    interval_n, HostCounters, IntervalEngine, IntervalGauges, IntervalSeries,
+};
 use cobra_core::{
     BranchKind, ComposeError, PredictionBundle, SlotResolution, MAX_FETCH_WIDTH, SLOT_BYTES,
 };
@@ -309,7 +312,23 @@ pub struct Core<S> {
     /// Serialized host state (everything but the BPU and the stream)
     /// captured by [`arm_baseline`](Self::arm_baseline).
     host_baseline: Option<Vec<u8>>,
+
+    /// Interval telemetry engine, armed for the measured region of
+    /// [`run_with_warmup`](Self::run_with_warmup). Boxed so the off case
+    /// costs the run loop a single pointer-null check.
+    interval: Option<Box<IntervalEngine>>,
+    /// Programmatic interval-length request; wins over `COBRA_INTERVAL`.
+    interval_request: Option<u64>,
+    /// The finished series of the last measured run.
+    interval_series: Option<IntervalSeries>,
+    /// Progress heartbeat: `(every_insts, next_threshold, callback)`,
+    /// fired from `run` with `(committed_insts, cycles)`.
+    progress: Option<ProgressHook>,
 }
+
+/// Progress-callback state: period in committed instructions, the next
+/// firing threshold, and the callback itself.
+type ProgressHook = (u64, u64, Box<dyn FnMut(u64, u64) + Send>);
 
 const COMPLETION_RING: usize = 512;
 
@@ -358,6 +377,10 @@ impl<S: InstructionStream> Core<S> {
             due_scratch: Vec::new(),
             uop_scratch: Vec::new(),
             host_baseline: None,
+            interval: None,
+            interval_request: None,
+            interval_series: None,
+            progress: None,
             cfg,
         })
     }
@@ -381,6 +404,74 @@ impl<S: InstructionStream> Core<S> {
     /// Current counters.
     pub fn counters(&self) -> &PerfCounters {
         &self.counters
+    }
+
+    /// Requests interval telemetry with `n` committed instructions per
+    /// interval for the next [`run_with_warmup`](Self::run_with_warmup),
+    /// overriding the `COBRA_INTERVAL` environment gate (`0` disables).
+    pub fn set_interval(&mut self, n: u64) {
+        self.interval_request = Some(n);
+    }
+
+    /// Takes the interval series collected by the last
+    /// [`run_with_warmup`](Self::run_with_warmup), if telemetry was armed.
+    pub fn take_intervals(&mut self) -> Option<IntervalSeries> {
+        self.interval_series.take()
+    }
+
+    /// Installs a progress heartbeat: `cb(committed_insts, cycles)` fires
+    /// from [`run`](Self::run) every `every` committed instructions
+    /// (`0` uninstalls).
+    pub fn set_progress(&mut self, every: u64, cb: Box<dyn FnMut(u64, u64) + Send>) {
+        self.progress = if every == 0 {
+            None
+        } else {
+            Some((every, self.counters.committed_insts + every, cb))
+        };
+    }
+
+    /// Live host-counter snapshot for interval telemetry: the counters
+    /// mirror, plus the in-progress cycle count (`run` writes
+    /// `counters.cycles` back only when it returns).
+    fn host_snapshot(&self) -> HostCounters {
+        let mut h = self.counters.to_host();
+        h.cycles = self.cycle;
+        h
+    }
+
+    /// Occupancy gauges at the present point in the run: history-file
+    /// occupancy, RAS depth and high-water, and per-component SRAM
+    /// touched-row utilization. Sampled at every interval boundary, and
+    /// also an observability accessor for end-of-run reporting
+    /// (`cobra-trace`).
+    pub fn interval_gauges(&self) -> IntervalGauges {
+        IntervalGauges {
+            hf_occupancy: self.bpu.in_flight() as u64,
+            ras_depth: self.ras.depth() as u64,
+            ras_high_water: self.ras.depth_high_water() as u64,
+            sram_rows: self.bpu.sram_utilization(),
+        }
+    }
+
+    /// Closes the current telemetry interval at the present commit point.
+    #[cold]
+    fn close_interval(&mut self) {
+        let host = self.host_snapshot();
+        let attr = self.bpu.attribution_report();
+        let gauges = self.interval_gauges();
+        if let Some(iv) = self.interval.as_deref_mut() {
+            iv.close(host, attr, gauges);
+        }
+    }
+
+    /// Fires the progress callback and re-arms its threshold.
+    #[cold]
+    fn fire_progress(&mut self) {
+        let (insts, cycles) = (self.counters.committed_insts, self.cycle);
+        if let Some((every, next_at, cb)) = self.progress.as_mut() {
+            *next_at = insts + *every;
+            cb(insts, cycles);
+        }
     }
 
     fn block_base(&self, pc: u64) -> u64 {
@@ -445,6 +536,16 @@ impl<S: InstructionStream> Core<S> {
     pub fn run(&mut self, max_insts: u64, workload_name: &str) -> PerfReport {
         while self.counters.committed_insts < max_insts {
             self.step();
+            if let Some(iv) = self.interval.as_deref() {
+                if iv.due(self.counters.committed_insts) {
+                    self.close_interval();
+                }
+            }
+            if let Some((_, next_at, _)) = &self.progress {
+                if self.counters.committed_insts >= *next_at {
+                    self.fire_progress();
+                }
+            }
             if self.stream_done
                 && self.lookahead.is_none()
                 && self.rob.is_empty()
@@ -490,7 +591,20 @@ impl<S: InstructionStream> Core<S> {
         self.run(warmup, workload_name);
         let baseline = self.counters;
         let baseline_attr = self.bpu.attribution_report();
+        let n = self.interval_request.or_else(interval_n).filter(|&n| n > 0);
+        if let Some(n) = n {
+            self.interval = Some(Box::new(IntervalEngine::new(
+                n,
+                self.host_snapshot(),
+                baseline_attr.clone(),
+            )));
+        }
         let mut report = self.run(warmup + measure, workload_name);
+        if let Some(iv) = self.interval.take() {
+            let gauges = self.interval_gauges();
+            self.interval_series =
+                Some(iv.finish(self.host_snapshot(), self.bpu.attribution_report(), gauges));
+        }
         report.counters = report.counters.delta(&baseline);
         report.attribution = report.attribution.delta(&baseline_attr);
         report
@@ -539,6 +653,11 @@ impl<S: InstructionStream> Core<S> {
                             self.counters.cfis += 1;
                             if r.kind == BranchKind::Conditional {
                                 self.counters.cond_branches += 1;
+                            }
+                        }
+                        if let Some(iv) = self.interval.as_deref_mut() {
+                            for r in &pkt.resolutions {
+                                iv.note_branch(pkt.pc + u64::from(r.slot) * SLOT_BYTES);
                             }
                         }
                     }

@@ -34,6 +34,7 @@ mod cache;
 pub mod checkpoint;
 mod config;
 mod core;
+pub mod metrics;
 mod perf;
 mod program;
 mod ras;
@@ -45,6 +46,7 @@ pub use checkpoint::{
     config_hash, read_meta, restore_checkpoint, save_checkpoint, CbsError, CbsMeta,
 };
 pub use config::{CacheConfig, CoreConfig};
+pub use metrics::{read_metrics, reconcile, save_metrics, CbmError, CbmFile, CbmMeta};
 pub use perf::{harmonic_mean, PerfCounters, PerfReport};
 pub use program::{CfiOutcome, DynInst, InstructionStream, IterStream, Op, StaticInst};
 pub use ras::{RasSnapshot, ReturnAddressStack};

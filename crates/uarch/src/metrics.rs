@@ -1,0 +1,940 @@
+//! The COBRA Binary Metrics (CBM) format — interval telemetry streams.
+//!
+//! A `.cbm` file carries one run's interval telemetry series (see
+//! [`cobra_core::obs::interval`]): an identity header naming the design,
+//! configuration, workload, and interval length, followed by one record
+//! per closed interval — host counter delta, per-component attribution
+//! delta, occupancy gauges, and the phase-signature vector — and a
+//! totals section holding the end-of-run measured deltas the records
+//! must sum to. A reader can therefore verify *self-contained* that the
+//! telemetry reconciles bit-exactly with the run's `PerfReport` /
+//! [`AttributionReport`] ([`reconcile`]), with no side channel.
+//!
+//! The container follows the same hostile-input discipline as `.cbt`
+//! and `.cbs`: fixed-width integers little-endian, variable-length
+//! values LEB128 ([`cobra_sim::varint`]), header and payload
+//! independently CRC-32C-protected, every declared length capped before
+//! allocation, trailing bytes rejected, and precise error variants
+//! ([`CbmError`]). The normative specification, including a decoded
+//! worked example, is in `docs/METRICS_FORMAT.md` at the repository
+//! root; this module is the reference implementation.
+
+use cobra_core::obs::interval::{HostCounters, IntervalGauges, IntervalRecord, IntervalSeries};
+use cobra_core::obs::{AttributionReport, ComponentAttribution, ComponentCounters, OverrideEdge};
+use cobra_sim::varint;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// File magic, the first 8 bytes of every `.cbm` file.
+pub const MAGIC: [u8; 8] = *b"COBRACBM";
+/// Trailing footer magic, the last 4 bytes of every `.cbm` file.
+pub const FOOTER_MAGIC: [u8; 4] = *b"CBMX";
+/// The (only) format version this implementation reads and writes.
+pub const VERSION: u16 = 1;
+/// Reader guard: maximum accepted payload size.
+pub const MAX_PAYLOAD_BYTES: u64 = 1 << 26;
+/// Reader guard: maximum accepted length for any header string.
+pub const MAX_NAME_BYTES: u64 = 4096;
+/// Reader guard: maximum interval records per file.
+pub const MAX_RECORDS: u64 = 1 << 20;
+/// Reader guard: maximum component rows (labels) per file.
+pub const MAX_LABELS: u64 = 64;
+/// Reader guard: maximum phase-signature buckets per record.
+pub const MAX_SIG_BUCKETS: u64 = 4096;
+
+/// Everything that can go wrong reading or writing a `.cbm` file.
+#[derive(Debug)]
+pub enum CbmError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file does not end with [`FOOTER_MAGIC`].
+    BadFooterMagic,
+    /// The file's version is not supported by this implementation.
+    UnsupportedVersion(u16),
+    /// The header flags word has bits this implementation does not know.
+    UnsupportedFlags(u16),
+    /// The file ended while reading the named structure.
+    Truncated {
+        /// Which structure was being read.
+        what: &'static str,
+    },
+    /// A declared size exceeds the format's hard limits — either corrupt
+    /// or hostile; never allocated.
+    LimitExceeded {
+        /// Which declared quantity is over limit.
+        what: &'static str,
+        /// The declared value.
+        got: u64,
+        /// The maximum this reader accepts.
+        max: u64,
+    },
+    /// The header CRC-32C does not match the header bytes.
+    HeaderChecksum {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes read.
+        computed: u32,
+    },
+    /// The payload's CRC-32C does not match its bytes.
+    PayloadChecksum {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes read.
+        computed: u32,
+    },
+    /// A varint field is truncated or over-long.
+    BadVarint {
+        /// Which structure was being read.
+        what: &'static str,
+    },
+    /// A header string is not valid UTF-8.
+    BadName,
+    /// Bytes remain after the footer magic.
+    TrailingBytes {
+        /// How many bytes follow the footer.
+        count: u64,
+    },
+    /// The payload decoded but is semantically inconsistent (an
+    /// override edge naming a component row that does not exist, a
+    /// record with the wrong number of component rows, …).
+    Malformed {
+        /// What was inconsistent.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CbmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic => write!(f, "not a CBM file (bad magic; expected `COBRACBM`)"),
+            Self::BadFooterMagic => {
+                write!(f, "bad footer magic (file truncated or not finalized)")
+            }
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported CBM version {v} (this reader supports {VERSION})"
+                )
+            }
+            Self::UnsupportedFlags(bits) => {
+                write!(
+                    f,
+                    "unsupported header flags {bits:#06x} (reserved bits set)"
+                )
+            }
+            Self::Truncated { what } => write!(f, "file truncated while reading {what}"),
+            Self::LimitExceeded { what, got, max } => {
+                write!(f, "{what} = {got} exceeds the format limit of {max}")
+            }
+            Self::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::PayloadChecksum { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::BadVarint { what } => write!(f, "truncated or over-long varint in {what}"),
+            Self::BadName => write!(f, "header string is not valid UTF-8"),
+            Self::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the footer magic")
+            }
+            Self::Malformed { what } => write!(f, "malformed payload: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CbmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CbmError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// The identity a metrics file is bound to: which design, configuration,
+/// and workload produced it, plus the telemetry geometry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CbmMeta {
+    /// Design name (e.g. `"TAGE-L"`).
+    pub design: String,
+    /// Topology string in the paper's notation.
+    pub topology: String,
+    /// FNV-1a hash over the full design + core configuration (see
+    /// [`crate::checkpoint::config_hash`]).
+    pub config_hash: u64,
+    /// Workload name the run simulated.
+    pub workload: String,
+    /// Warmup boundary (committed instructions) the intervals start at.
+    pub warmup_insts: u64,
+    /// Requested interval length in committed instructions.
+    pub interval_n: u64,
+    /// Phase-signature buckets per record.
+    pub sig_buckets: u64,
+}
+
+/// A fully decoded and validated `.cbm` file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CbmFile {
+    /// The identity header.
+    pub meta: CbmMeta,
+    /// Component row labels (dataflow order, then the static row).
+    pub labels: Vec<String>,
+    /// The interval records in time order.
+    pub records: Vec<IntervalRecord>,
+    /// End-of-run host counter delta over the measured region.
+    pub totals_host: HostCounters,
+    /// End-of-run attribution delta over the measured region.
+    pub totals_attr: AttributionReport,
+}
+
+/// Serializes an interval series plus its end-of-run totals into `w` as
+/// a `.cbm` file bound to `meta`, and returns the bytes written.
+///
+/// The totals are the *measured-region* deltas of the run that produced
+/// `series` — exactly the `PerfReport` counters and attribution that
+/// `run_with_warmup` returns — so any reader can check reconciliation
+/// without rerunning anything.
+///
+/// # Errors
+///
+/// Propagates I/O errors; [`CbmError::Malformed`] if a record's
+/// component rows disagree with the series label table.
+pub fn save_metrics<W: Write>(
+    mut w: W,
+    meta: &CbmMeta,
+    series: &IntervalSeries,
+    totals_host: &HostCounters,
+    totals_attr: &AttributionReport,
+) -> Result<u64, CbmError> {
+    let labels = &series.labels;
+    let n_components = labels.len().saturating_sub(1);
+    let row_index: BTreeMap<&str, u64> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l.as_str(), i as u64))
+        .collect();
+
+    let mut header = Vec::with_capacity(96);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes()); // flags
+    write_str(&mut header, &meta.design);
+    write_str(&mut header, &meta.topology);
+    header.extend_from_slice(&meta.config_hash.to_le_bytes());
+    write_str(&mut header, &meta.workload);
+    varint::write_u64(&mut header, meta.warmup_insts);
+    varint::write_u64(&mut header, meta.interval_n);
+    varint::write_u64(&mut header, meta.sig_buckets);
+    varint::write_u64(&mut header, labels.len() as u64);
+    for l in labels {
+        write_str(&mut header, l);
+    }
+    let header_crc = cobra_sim::crc32c(&header);
+
+    let mut payload = Vec::with_capacity(series.records.len() * 256 + 256);
+    varint::write_u64(&mut payload, series.records.len() as u64);
+    for rec in &series.records {
+        if rec.attr.components.len() != labels.len()
+            || rec.gauges.sram_rows.len() != n_components
+            || rec.sig.len() as u64 != meta.sig_buckets
+        {
+            return Err(CbmError::Malformed {
+                what: "record shape disagrees with the header label table",
+            });
+        }
+        varint::write_u64(&mut payload, rec.seq);
+        varint::write_u64(&mut payload, rec.start_inst);
+        encode_host(&mut payload, &rec.host);
+        encode_attr(&mut payload, &rec.attr, &row_index)?;
+        varint::write_u64(&mut payload, rec.gauges.hf_occupancy);
+        varint::write_u64(&mut payload, rec.gauges.ras_depth);
+        varint::write_u64(&mut payload, rec.gauges.ras_high_water);
+        for &(touched, total) in &rec.gauges.sram_rows {
+            varint::write_u64(&mut payload, touched);
+            varint::write_u64(&mut payload, total);
+        }
+        for &s in &rec.sig {
+            varint::write_u64(&mut payload, u64::from(s));
+        }
+    }
+    if totals_attr.components.len() != labels.len() {
+        return Err(CbmError::Malformed {
+            what: "totals shape disagrees with the header label table",
+        });
+    }
+    encode_host(&mut payload, totals_host);
+    encode_attr(&mut payload, totals_attr, &row_index)?;
+
+    let payload_len = payload.len() as u32;
+    let mut crc = cobra_sim::Crc32c::new();
+    crc.update(&payload_len.to_le_bytes());
+    crc.update(&payload);
+    let payload_crc = crc.finish();
+
+    w.write_all(&header)?;
+    w.write_all(&header_crc.to_le_bytes())?;
+    w.write_all(&payload_len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&payload_crc.to_le_bytes())?;
+    w.write_all(&FOOTER_MAGIC)?;
+    w.flush()?;
+    Ok(header.len() as u64 + 4 + 4 + u64::from(payload_len) + 4 + 4)
+}
+
+/// Parses and checksums a `.cbm` header, returning the identity record
+/// and label table without touching the payload.
+///
+/// # Errors
+///
+/// Any [`CbmError`] describing the first malformed header structure.
+pub fn read_meta<R: Read>(mut r: R) -> Result<(CbmMeta, Vec<String>), CbmError> {
+    read_header(&mut r)
+}
+
+/// Reads, checksums, and fully decodes a `.cbm` file.
+///
+/// # Errors
+///
+/// Any [`CbmError`]; nothing about the file is trusted before its
+/// checksums and shape checks pass.
+pub fn read_metrics<R: Read>(mut r: R) -> Result<CbmFile, CbmError> {
+    let (meta, labels) = read_header(&mut r)?;
+    let payload_len = u64::from(read_u32(&mut r, "payload length")?);
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(CbmError::LimitExceeded {
+            what: "payload length",
+            got: payload_len,
+            max: MAX_PAYLOAD_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    read_exact(&mut r, &mut payload, "payload")?;
+    let stored = read_u32(&mut r, "payload checksum")?;
+    let mut crc = cobra_sim::Crc32c::new();
+    crc.update(&(payload_len as u32).to_le_bytes());
+    crc.update(&payload);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(CbmError::PayloadChecksum { stored, computed });
+    }
+    let mut footer = [0u8; 4];
+    read_exact(&mut r, &mut footer, "footer magic")?;
+    if footer != FOOTER_MAGIC {
+        return Err(CbmError::BadFooterMagic);
+    }
+    let mut rest = [0u8; 64];
+    let mut trailing = 0u64;
+    loop {
+        let n = r.read(&mut rest)?;
+        if n == 0 {
+            break;
+        }
+        trailing += n as u64;
+    }
+    if trailing != 0 {
+        return Err(CbmError::TrailingBytes { count: trailing });
+    }
+
+    let n_components = labels.len().saturating_sub(1);
+    let mut pos = 0usize;
+    let n_records = read_varint(&payload, &mut pos, "record count")?;
+    if n_records > MAX_RECORDS {
+        return Err(CbmError::LimitExceeded {
+            what: "record count",
+            got: n_records,
+            max: MAX_RECORDS,
+        });
+    }
+    let mut records = Vec::with_capacity(n_records as usize);
+    for _ in 0..n_records {
+        let seq = read_varint(&payload, &mut pos, "record seq")?;
+        let start_inst = read_varint(&payload, &mut pos, "record start")?;
+        let host = decode_host(&payload, &mut pos, "record host counters")?;
+        let attr = decode_attr(&payload, &mut pos, &labels, "record attribution")?;
+        let hf_occupancy = read_varint(&payload, &mut pos, "record hf occupancy")?;
+        let ras_depth = read_varint(&payload, &mut pos, "record ras depth")?;
+        let ras_high_water = read_varint(&payload, &mut pos, "record ras high water")?;
+        let mut sram_rows = Vec::with_capacity(n_components);
+        for _ in 0..n_components {
+            let touched = read_varint(&payload, &mut pos, "record sram touched rows")?;
+            let total = read_varint(&payload, &mut pos, "record sram total rows")?;
+            sram_rows.push((touched, total));
+        }
+        let mut sig = Vec::with_capacity(meta.sig_buckets as usize);
+        for _ in 0..meta.sig_buckets {
+            let v = read_varint(&payload, &mut pos, "record signature bucket")?;
+            if v > u64::from(u32::MAX) {
+                return Err(CbmError::Malformed {
+                    what: "signature bucket exceeds u32",
+                });
+            }
+            sig.push(v as u32);
+        }
+        records.push(IntervalRecord {
+            seq,
+            start_inst,
+            host,
+            attr,
+            gauges: IntervalGauges {
+                hf_occupancy,
+                ras_depth,
+                ras_high_water,
+                sram_rows,
+            },
+            sig,
+        });
+    }
+    let totals_host = decode_host(&payload, &mut pos, "totals host counters")?;
+    let totals_attr = decode_attr(&payload, &mut pos, &labels, "totals attribution")?;
+    if pos != payload.len() {
+        return Err(CbmError::Malformed {
+            what: "payload bytes remain after the totals section",
+        });
+    }
+    Ok(CbmFile {
+        meta,
+        labels,
+        records,
+        totals_host,
+        totals_attr,
+    })
+}
+
+/// Checks that the interval records reconcile bit-exactly with the
+/// file's totals section: the host counter deltas sum field-for-field
+/// to `totals_host`, the per-component attribution counters, scalars,
+/// and override edges sum to `totals_attr`, and the high-water gauge of
+/// the last record equals the end-of-run value (it is monotone, not
+/// additive).
+///
+/// # Errors
+///
+/// A human-readable description of the first field that fails.
+pub fn reconcile(file: &CbmFile) -> Result<(), String> {
+    let mut host = HostCounters::default();
+    for r in &file.records {
+        host.accumulate(&r.host);
+    }
+    if host != file.totals_host {
+        return Err(format!(
+            "host counters do not reconcile: intervals sum to {:?}, totals say {:?}",
+            host, file.totals_host
+        ));
+    }
+    let mut counters = vec![ComponentCounters::default(); file.labels.len()];
+    let mut packets = 0u64;
+    let mut ghist = 0u64;
+    let mut lhist = 0u64;
+    let mut edges: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for r in &file.records {
+        for (sum, c) in counters.iter_mut().zip(&r.attr.components) {
+            let d = &c.counters;
+            sum.queries += d.queries;
+            sum.fires += d.fires;
+            sum.mispredict_events += d.mispredict_events;
+            sum.repairs += d.repairs;
+            sum.updates += d.updates;
+            sum.provided_final += d.provided_final;
+            sum.overridden += d.overridden;
+            sum.direction_blame += d.direction_blame;
+            sum.target_blame += d.target_blame;
+        }
+        packets += r.attr.packets_with_prediction;
+        ghist += r.attr.ghist_snapshot_repairs;
+        lhist += r.attr.lhist_repairs;
+        for e in &r.attr.overrides {
+            *edges
+                .entry((e.winner.clone(), e.loser.clone()))
+                .or_insert(0) += e.count;
+        }
+    }
+    for ((sum, total), label) in counters
+        .iter()
+        .zip(&file.totals_attr.components)
+        .zip(&file.labels)
+    {
+        if *sum != total.counters {
+            return Err(format!(
+                "component `{label}` counters do not reconcile: intervals sum to {:?}, totals say {:?}",
+                sum, total.counters
+            ));
+        }
+    }
+    if packets != file.totals_attr.packets_with_prediction {
+        return Err(format!(
+            "packets_with_prediction does not reconcile: {} vs {}",
+            packets, file.totals_attr.packets_with_prediction
+        ));
+    }
+    if ghist != file.totals_attr.ghist_snapshot_repairs || lhist != file.totals_attr.lhist_repairs {
+        return Err(format!(
+            "history repair gauges do not reconcile: ghist {} vs {}, lhist {} vs {}",
+            ghist, file.totals_attr.ghist_snapshot_repairs, lhist, file.totals_attr.lhist_repairs
+        ));
+    }
+    let mut total_edges: BTreeMap<(String, String), u64> = BTreeMap::new();
+    for e in &file.totals_attr.overrides {
+        *total_edges
+            .entry((e.winner.clone(), e.loser.clone()))
+            .or_insert(0) += e.count;
+    }
+    if edges != total_edges {
+        return Err("override edges do not reconcile with the totals section".to_string());
+    }
+    if let Some(last) = file.records.last() {
+        if last.attr.hf_high_water != file.totals_attr.hf_high_water {
+            return Err(format!(
+                "hf high-water gauge does not reconcile: last interval {} vs totals {}",
+                last.attr.hf_high_water, file.totals_attr.hf_high_water
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn encode_host(out: &mut Vec<u8>, h: &HostCounters) {
+    for v in h.to_array() {
+        varint::write_u64(out, v);
+    }
+}
+
+fn decode_host(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<HostCounters, CbmError> {
+    let mut a = [0u64; 11];
+    for v in a.iter_mut() {
+        *v = read_varint(buf, pos, what)?;
+    }
+    Ok(HostCounters::from_array(a))
+}
+
+fn encode_attr(
+    out: &mut Vec<u8>,
+    attr: &AttributionReport,
+    row_index: &BTreeMap<&str, u64>,
+) -> Result<(), CbmError> {
+    for c in &attr.components {
+        let d = &c.counters;
+        for v in [
+            d.queries,
+            d.fires,
+            d.mispredict_events,
+            d.repairs,
+            d.updates,
+            d.provided_final,
+            d.overridden,
+            d.direction_blame,
+            d.target_blame,
+        ] {
+            varint::write_u64(out, v);
+        }
+    }
+    varint::write_u64(out, attr.packets_with_prediction);
+    varint::write_u64(out, attr.hf_high_water);
+    varint::write_u64(out, attr.ghist_snapshot_repairs);
+    varint::write_u64(out, attr.lhist_repairs);
+    varint::write_u64(out, attr.overrides.len() as u64);
+    for e in &attr.overrides {
+        let (Some(&w), Some(&l)) = (
+            row_index.get(e.winner.as_str()),
+            row_index.get(e.loser.as_str()),
+        ) else {
+            return Err(CbmError::Malformed {
+                what: "override edge names a component not in the label table",
+            });
+        };
+        varint::write_u64(out, w);
+        varint::write_u64(out, l);
+        varint::write_u64(out, e.count);
+    }
+    Ok(())
+}
+
+fn decode_attr(
+    buf: &[u8],
+    pos: &mut usize,
+    labels: &[String],
+    what: &'static str,
+) -> Result<AttributionReport, CbmError> {
+    let mut components = Vec::with_capacity(labels.len());
+    for label in labels {
+        let mut v = [0u64; 9];
+        for x in v.iter_mut() {
+            *x = read_varint(buf, pos, what)?;
+        }
+        components.push(ComponentAttribution {
+            label: label.clone(),
+            counters: ComponentCounters {
+                queries: v[0],
+                fires: v[1],
+                mispredict_events: v[2],
+                repairs: v[3],
+                updates: v[4],
+                provided_final: v[5],
+                overridden: v[6],
+                direction_blame: v[7],
+                target_blame: v[8],
+            },
+        });
+    }
+    let packets_with_prediction = read_varint(buf, pos, what)?;
+    let hf_high_water = read_varint(buf, pos, what)?;
+    let ghist_snapshot_repairs = read_varint(buf, pos, what)?;
+    let lhist_repairs = read_varint(buf, pos, what)?;
+    let n_edges = read_varint(buf, pos, what)?;
+    if n_edges > (labels.len() as u64) * (labels.len() as u64) {
+        return Err(CbmError::LimitExceeded {
+            what: "override edge count",
+            got: n_edges,
+            max: (labels.len() as u64) * (labels.len() as u64),
+        });
+    }
+    let mut overrides = Vec::with_capacity(n_edges as usize);
+    for _ in 0..n_edges {
+        let w = read_varint(buf, pos, what)?;
+        let l = read_varint(buf, pos, what)?;
+        let count = read_varint(buf, pos, what)?;
+        if w >= labels.len() as u64 || l >= labels.len() as u64 {
+            return Err(CbmError::Malformed {
+                what: "override edge row index out of range",
+            });
+        }
+        overrides.push(OverrideEdge {
+            winner: labels[w as usize].clone(),
+            loser: labels[l as usize].clone(),
+            count,
+        });
+    }
+    Ok(AttributionReport {
+        components,
+        packets_with_prediction,
+        hf_high_water,
+        ghist_snapshot_repairs,
+        lhist_repairs,
+        overrides,
+    })
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<(CbmMeta, Vec<String>), CbmError> {
+    let mut fixed = [0u8; 12];
+    read_exact(r, &mut fixed, "header")?;
+    if fixed[..8] != MAGIC {
+        return Err(CbmError::BadMagic);
+    }
+    let version = u16::from_le_bytes([fixed[8], fixed[9]]);
+    if version != VERSION {
+        return Err(CbmError::UnsupportedVersion(version));
+    }
+    let flags = u16::from_le_bytes([fixed[10], fixed[11]]);
+    if flags != 0 {
+        return Err(CbmError::UnsupportedFlags(flags));
+    }
+    let mut raw = fixed.to_vec();
+    let design = read_str(r, &mut raw, "header design name")?;
+    let topology = read_str(r, &mut raw, "header topology")?;
+    let mut hash_bytes = [0u8; 8];
+    read_exact(r, &mut hash_bytes, "header config hash")?;
+    raw.extend_from_slice(&hash_bytes);
+    let config_hash = u64::from_le_bytes(hash_bytes);
+    let workload = read_str(r, &mut raw, "header workload name")?;
+    let warmup_insts = read_varint_stream(r, &mut raw, "header warmup boundary")?;
+    let interval_n = read_varint_stream(r, &mut raw, "header interval length")?;
+    let sig_buckets = read_varint_stream(r, &mut raw, "header signature buckets")?;
+    if sig_buckets > MAX_SIG_BUCKETS {
+        return Err(CbmError::LimitExceeded {
+            what: "signature buckets",
+            got: sig_buckets,
+            max: MAX_SIG_BUCKETS,
+        });
+    }
+    let n_labels = read_varint_stream(r, &mut raw, "header label count")?;
+    if n_labels > MAX_LABELS {
+        return Err(CbmError::LimitExceeded {
+            what: "label count",
+            got: n_labels,
+            max: MAX_LABELS,
+        });
+    }
+    let mut labels = Vec::with_capacity(n_labels as usize);
+    for _ in 0..n_labels {
+        labels.push(read_str(r, &mut raw, "header component label")?);
+    }
+    let stored = read_u32(r, "header checksum")?;
+    let computed = cobra_sim::crc32c(&raw);
+    if stored != computed {
+        return Err(CbmError::HeaderChecksum { stored, computed });
+    }
+    Ok((
+        CbmMeta {
+            design,
+            topology,
+            config_hash,
+            workload,
+            warmup_insts,
+            interval_n,
+            sig_buckets,
+        },
+        labels,
+    ))
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    varint::write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str<R: Read>(r: &mut R, raw: &mut Vec<u8>, what: &'static str) -> Result<String, CbmError> {
+    let len = read_varint_stream(r, raw, what)?;
+    if len > MAX_NAME_BYTES {
+        return Err(CbmError::LimitExceeded {
+            what,
+            got: len,
+            max: MAX_NAME_BYTES,
+        });
+    }
+    let mut buf = vec![0u8; len as usize];
+    read_exact(r, &mut buf, what)?;
+    raw.extend_from_slice(&buf);
+    String::from_utf8(buf).map_err(|_| CbmError::BadName)
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &'static str) -> Result<(), CbmError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CbmError::Truncated { what }
+        } else {
+            CbmError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &'static str) -> Result<u32, CbmError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, what)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, CbmError> {
+    varint::read_u64(buf, pos).ok_or(CbmError::BadVarint { what })
+}
+
+/// Reads a varint byte-by-byte from a stream, appending the raw bytes to
+/// `raw` (for checksumming).
+fn read_varint_stream<R: Read>(
+    r: &mut R,
+    raw: &mut Vec<u8>,
+    what: &'static str,
+) -> Result<u64, CbmError> {
+    let start = raw.len();
+    for _ in 0..varint::MAX_VARINT_LEN {
+        let mut b = [0u8; 1];
+        read_exact(r, &mut b, what)?;
+        raw.push(b[0]);
+        if b[0] & 0x80 == 0 {
+            let mut pos = 0;
+            return varint::read_u64(&raw[start..], &mut pos).ok_or(CbmError::BadVarint { what });
+        }
+    }
+    Err(CbmError::BadVarint { what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_core::obs::interval::{IntervalEngine, SIG_BUCKETS};
+
+    fn attr(queries: u64, blame: u64, edge: u64) -> AttributionReport {
+        let row = |label: &str, q, b| ComponentAttribution {
+            label: label.into(),
+            counters: ComponentCounters {
+                queries: q,
+                fires: q / 2,
+                direction_blame: b,
+                target_blame: b / 2,
+                provided_final: q / 3,
+                ..ComponentCounters::default()
+            },
+        };
+        AttributionReport {
+            components: vec![
+                row("bim", queries, blame),
+                row("gshare", queries, blame / 2),
+                row("(static)", 0, 1),
+            ],
+            packets_with_prediction: queries,
+            hf_high_water: 12,
+            ghist_snapshot_repairs: blame,
+            lhist_repairs: blame / 3,
+            overrides: if edge > 0 {
+                vec![OverrideEdge {
+                    winner: "gshare".into(),
+                    loser: "bim".into(),
+                    count: edge,
+                }]
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    fn host(cycles: u64, insts: u64) -> HostCounters {
+        HostCounters {
+            cycles,
+            committed_insts: insts,
+            cond_branches: insts / 5,
+            cfis: insts / 4,
+            cond_mispredicts: insts / 50,
+            target_mispredicts: insts / 100,
+            ..HostCounters::default()
+        }
+    }
+
+    fn gauges() -> IntervalGauges {
+        IntervalGauges {
+            hf_occupancy: 3,
+            ras_depth: 2,
+            ras_high_water: 5,
+            sram_rows: vec![(10, 64), (0, 0)],
+        }
+    }
+
+    fn sample_series() -> (IntervalSeries, HostCounters, AttributionReport) {
+        let base_h = host(100, 40);
+        let base_a = attr(7, 2, 1);
+        let mut e = IntervalEngine::new(50, base_h, base_a.clone());
+        e.note_branch(0x4000);
+        e.note_branch(0x4008);
+        e.close(host(300, 90), attr(30, 6, 3), gauges());
+        e.note_branch(0x4000);
+        let end_h = host(500, 160);
+        let end_a = attr(55, 11, 8);
+        let series = e.finish(end_h, end_a.clone(), gauges());
+        (series, end_h.delta(&base_h), end_a.delta(&base_a))
+    }
+
+    fn meta() -> CbmMeta {
+        CbmMeta {
+            design: "B2".into(),
+            topology: "GBIM2(BIM1)".into(),
+            config_hash: 0x1234_5678_9abc_def0,
+            workload: "gcc".into(),
+            warmup_insts: 40,
+            interval_n: 50,
+            sig_buckets: SIG_BUCKETS as u64,
+        }
+    }
+
+    fn encode() -> Vec<u8> {
+        let (series, th, ta) = sample_series();
+        let mut buf = Vec::new();
+        save_metrics(&mut buf, &meta(), &series, &th, &ta).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let (series, th, ta) = sample_series();
+        let bytes = encode();
+        let file = read_metrics(&bytes[..]).unwrap();
+        assert_eq!(file.meta, meta());
+        assert_eq!(file.labels, series.labels);
+        assert_eq!(file.records, series.records);
+        assert_eq!(file.totals_host, th);
+        assert_eq!(file.totals_attr, ta);
+        reconcile(&file).unwrap();
+    }
+
+    #[test]
+    fn meta_reads_without_payload() {
+        let bytes = encode();
+        let (m, labels) = read_meta(&bytes[..]).unwrap();
+        assert_eq!(m, meta());
+        assert_eq!(labels.len(), 3);
+        assert_eq!(labels[2], "(static)");
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let bytes = encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                read_metrics(&bytes[..cut]).is_err(),
+                "truncation at {cut}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let bytes = encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                read_metrics(&bad[..]).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode();
+        bytes.push(0);
+        assert!(matches!(
+            read_metrics(&bytes[..]),
+            Err(CbmError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn tampered_totals_fail_reconciliation() {
+        let (series, th, mut ta) = sample_series();
+        ta.components[0].counters.queries += 1;
+        let mut buf = Vec::new();
+        save_metrics(&mut buf, &meta(), &series, &th, &ta).unwrap();
+        let file = read_metrics(&buf[..]).unwrap();
+        let err = reconcile(&file).unwrap_err();
+        assert!(err.contains("bim"), "{err}");
+
+        let (series, mut th, ta) = sample_series();
+        th.cycles += 1;
+        let mut buf = Vec::new();
+        save_metrics(&mut buf, &meta(), &series, &th, &ta).unwrap();
+        let file = read_metrics(&buf[..]).unwrap();
+        assert!(reconcile(&file).unwrap_err().contains("host counters"));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected_at_write() {
+        let (mut series, th, ta) = sample_series();
+        series.records[0].sig.pop();
+        let mut buf = Vec::new();
+        assert!(matches!(
+            save_metrics(&mut buf, &meta(), &series, &th, &ta),
+            Err(CbmError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_precise() {
+        assert!(CbmError::BadMagic.to_string().contains("COBRACBM"));
+        let e = CbmError::LimitExceeded {
+            what: "record count",
+            got: 9,
+            max: 3,
+        };
+        assert!(e.to_string().contains("record count"));
+    }
+}

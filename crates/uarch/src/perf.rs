@@ -1,5 +1,6 @@
 //! Performance counters and the end-of-run report.
 
+use cobra_core::obs::interval::HostCounters;
 use cobra_core::obs::AttributionReport;
 use cobra_sim::{SnapError, StateReader, StateWriter};
 
@@ -104,6 +105,24 @@ impl PerfCounters {
 }
 
 impl PerfCounters {
+    /// The interval-telemetry mirror of these counters — same fields, same
+    /// meaning (see [`cobra_core::obs::interval::HostCounters`]).
+    pub fn to_host(&self) -> HostCounters {
+        HostCounters {
+            cycles: self.cycles,
+            committed_insts: self.committed_insts,
+            cond_branches: self.cond_branches,
+            cfis: self.cfis,
+            cond_mispredicts: self.cond_mispredicts,
+            target_mispredicts: self.target_mispredicts,
+            override_redirects: self.override_redirects,
+            history_replays: self.history_replays,
+            fetch_bubbles: self.fetch_bubbles,
+            icache_stall_cycles: self.icache_stall_cycles,
+            rob_stall_cycles: self.rob_stall_cycles,
+        }
+    }
+
     /// Field-wise difference `self − earlier`, for warm-up exclusion.
     pub fn delta(&self, earlier: &PerfCounters) -> PerfCounters {
         PerfCounters {

@@ -148,6 +148,19 @@ impl<R: Read + Seek> TraceProgram<R> {
     pub fn remaining(&self) -> u64 {
         self.records().saturating_sub(self.consumed)
     }
+
+    /// Fraction of the trace already replayed, in `[0.0, 1.0]`.
+    ///
+    /// Progress accessor for observability surfaces (heartbeats, status
+    /// lines). An empty trace reports `1.0`: there is nothing left to
+    /// replay.
+    pub fn replay_fraction(&self) -> f64 {
+        let total = self.records();
+        if total == 0 {
+            return 1.0;
+        }
+        self.consumed.min(total) as f64 / total as f64
+    }
 }
 
 impl<R: Read + Seek> InstructionStream for TraceProgram<R> {
@@ -247,6 +260,27 @@ mod tests {
         }
         assert_eq!(replay.inst_at(0x10001), direct.inst_at(0x10001));
         assert_eq!(replay.inst_at(u64::MAX - 1), direct.inst_at(u64::MAX - 1));
+    }
+
+    #[test]
+    fn replay_fraction_tracks_consumption() {
+        let spec = ProgramSpec {
+            name: "fraction".into(),
+            seed: 7,
+            ..ProgramSpec::default()
+        };
+        let mut bytes = Vec::new();
+        capture_stream(&mut spec.build(), 1_000, "fraction", &mut bytes).unwrap();
+        let mut replay = TraceProgram::from_bytes(bytes).unwrap();
+        assert_eq!(replay.replay_fraction(), 0.0);
+        for _ in 0..250 {
+            replay.next_inst().unwrap();
+        }
+        assert_eq!(replay.replay_fraction(), 0.25);
+        assert_eq!(replay.remaining(), 750);
+        while replay.next_inst().is_some() {}
+        assert_eq!(replay.replay_fraction(), 1.0);
+        assert_eq!(replay.remaining(), 0);
     }
 
     #[test]
