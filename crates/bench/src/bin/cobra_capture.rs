@@ -25,9 +25,9 @@
 //! Exit status: 0 on success, 1 on a capture or verify failure, 2 on a
 //! usage error.
 
-use cobra_bench::{capture_len, capture_workload, run_insts};
+use cobra_bench::{capture_len, capture_workload, run_insts, workload_by_name, KERNEL_NAMES};
 use cobra_uarch::InstructionStream;
-use cobra_workloads::{kernels, spec17, ProgramSpec, TraceProgram, SPEC17_NAMES};
+use cobra_workloads::{ProgramSpec, TraceProgram, SPEC17_NAMES};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -45,32 +45,6 @@ Options:
                    replay it against a fresh stream record-by-record
   --list           print capturable workload names and exit
   -h, --help       print this help";
-
-const KERNEL_NAMES: &[&str] = &[
-    "dhrystone",
-    "coremark",
-    "aliasing_stress",
-    "loop_stress",
-    "history_depth",
-    "btb_stress",
-    "ras_stress",
-];
-
-fn workload_by_name(name: &str) -> Option<ProgramSpec> {
-    if SPEC17_NAMES.iter().any(|n| n.eq_ignore_ascii_case(name)) {
-        return Some(spec17(&name.to_ascii_lowercase()));
-    }
-    match name.to_ascii_lowercase().as_str() {
-        "dhrystone" => Some(kernels::dhrystone()),
-        "coremark" => Some(kernels::coremark(false)),
-        "aliasing_stress" => Some(kernels::aliasing_stress()),
-        "loop_stress" => Some(kernels::loop_stress()),
-        "history_depth" => Some(kernels::history_depth(32)),
-        "btb_stress" => Some(kernels::btb_stress()),
-        "ras_stress" => Some(kernels::ras_stress()),
-        _ => None,
-    }
-}
 
 struct Options {
     workloads: Vec<String>,

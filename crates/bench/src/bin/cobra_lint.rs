@@ -28,7 +28,6 @@
 
 use cobra_bench::reference;
 use cobra_core::analysis::{self, AnalysisConfig, DiagCode, Severity};
-use cobra_core::composer::Design;
 use cobra_core::designs;
 use std::process::ExitCode;
 
@@ -218,13 +217,7 @@ fn lint_one(target: &str, o: &Options) -> Result<analysis::AnalysisReport, Strin
         // so a compile failure here is not double-reported.
         let design = match named {
             Some(d) => d,
-            None => Design {
-                name: target.into(),
-                topology: target.into(),
-                registry: designs::stock_registry(),
-                ghist_bits: o.ghist_bits,
-                lhist_entries: o.lhist_entries,
-            },
+            None => designs::from_topology(target, o.ghist_bits, o.lhist_entries),
         };
         if let Ok(diags) = analysis::verify_design_plan(&design, o.width) {
             report.diagnostics.extend(diags);

@@ -558,6 +558,8 @@ fn main() -> ExitCode {
             trace: None,
             checkpoint: None,
             metrics: None,
+            served: None,
+            cache: None,
         };
         let line = runner::metrics_record("cobra-trace", &result);
         if let Err(e) = runner::write_metrics(path, std::slice::from_ref(&line)) {

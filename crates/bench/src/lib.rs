@@ -26,6 +26,7 @@
 //! | `cobra-trace` | observability — per-component blame tables and event traces |
 //! | `cobra-capture` | workloads — capture any workload to a `.cbt` branch trace |
 //! | `cobra-checkpoint` | warm state — capture `.cbs` warm-state checkpoints for warmup-once grids |
+//! | `cobra-serve` | service — long-running evaluation daemon with a warm-state cache (see [`serve`]) |
 //!
 //! Run lengths scale with the `COBRA_INSTS` environment variable
 //! (instructions per measured run, default 500 000; warm-up is 40 % of it).
@@ -60,6 +61,7 @@
 pub mod jsonv;
 pub mod reference;
 pub mod runner;
+pub mod serve;
 pub mod timing;
 
 use cobra_core::composer::Design;
@@ -91,6 +93,41 @@ pub fn run_insts() -> u64 {
         Err(_) => 500_000,
     };
     n.max(1)
+}
+
+/// The named synthetic kernels [`workload_by_name`] resolves besides the
+/// SPECint17 profiles — what `cobra-capture --list` prints and
+/// `cobra-serve` accepts.
+pub const KERNEL_NAMES: &[&str] = &[
+    "dhrystone",
+    "coremark",
+    "aliasing_stress",
+    "loop_stress",
+    "history_depth",
+    "btb_stress",
+    "ras_stress",
+];
+
+/// Resolves a workload name (case-insensitively) to its [`ProgramSpec`]:
+/// any SPECint17 profile (`cobra_workloads::SPEC17_NAMES`) or any named
+/// kernel in [`KERNEL_NAMES`]. The single resolver behind
+/// `cobra-capture` and `cobra-serve` admission, so the two tools accept
+/// exactly the same names.
+pub fn workload_by_name(name: &str) -> Option<ProgramSpec> {
+    use cobra_workloads::{kernels, spec17, SPEC17_NAMES};
+    if SPEC17_NAMES.iter().any(|n| n.eq_ignore_ascii_case(name)) {
+        return Some(spec17(&name.to_ascii_lowercase()));
+    }
+    match name.to_ascii_lowercase().as_str() {
+        "dhrystone" => Some(kernels::dhrystone()),
+        "coremark" => Some(kernels::coremark(false)),
+        "aliasing_stress" => Some(kernels::aliasing_stress()),
+        "loop_stress" => Some(kernels::loop_stress()),
+        "history_depth" => Some(kernels::history_depth(32)),
+        "btb_stress" => Some(kernels::btb_stress()),
+        "ras_stress" => Some(kernels::ras_stress()),
+        _ => None,
+    }
 }
 
 /// Builds a core for `design` and `spec`, runs warm-up plus a measured

@@ -159,6 +159,15 @@ pub struct JobResult {
     /// `COBRA_INTERVAL` armed the engine (`None` otherwise). Carried for
     /// the same reporting surfaces as `trace`.
     pub metrics: Option<std::path::PathBuf>,
+    /// The `cobra-serve` endpoint that produced this report when the job
+    /// was served rather than simulated in-process (`None` for direct
+    /// runs). Carried so cobra-report can attribute wall-time wins to
+    /// the daemon.
+    pub served: Option<String>,
+    /// How the serving daemon satisfied the job: `"hit"` (tier-1 result
+    /// cache), `"warm"` (tier-2 checkpoint restore), or `"miss"` (full
+    /// simulation). `None` for direct runs.
+    pub cache: Option<String>,
 }
 
 impl JobResult {
@@ -172,6 +181,30 @@ impl JobResult {
             return 0.0;
         }
         self.report.counters.committed_insts as f64 / secs / 1e6
+    }
+
+    /// The provenance suffix of a stderr progress line (` trace=…`,
+    /// ` ckpt=…`, ` cbm=…`, ` served=…`, ` cache=…`); empty for a plain
+    /// execution-driven job. Shared between [`run_grid_on`] and the
+    /// `cobra-serve` bench client so served and direct logs read alike.
+    pub fn provenance_note(&self) -> String {
+        let mut note = String::new();
+        if let Some(p) = &self.trace {
+            note.push_str(&format!(" trace={}", p.display()));
+        }
+        if let Some(p) = &self.checkpoint {
+            note.push_str(&format!(" ckpt={}", p.display()));
+        }
+        if let Some(p) = &self.metrics {
+            note.push_str(&format!(" cbm={}", p.display()));
+        }
+        if let Some(s) = &self.served {
+            note.push_str(&format!(" served={s}"));
+        }
+        if let Some(c) = &self.cache {
+            note.push_str(&format!(" cache={c}"));
+        }
+        note
     }
 }
 
@@ -197,21 +230,14 @@ pub fn run_grid_on(threads: usize, jobs: &[Job<'_>]) -> Vec<JobResult> {
             trace: outcome.trace,
             checkpoint: outcome.checkpoint,
             metrics: outcome.metrics,
+            served: None,
+            cache: None,
         };
         let n = done.fetch_add(1, Ordering::Relaxed) + 1;
-        // Replayed / restored jobs carry their provenance paths so
+        // Replayed / restored / served jobs carry their provenance so
         // trace-driven and warmup-skipping grid runs are distinguishable
         // from plain execution-driven ones in the logs.
-        let mut note = String::new();
-        if let Some(p) = &r.trace {
-            note.push_str(&format!(" trace={}", p.display()));
-        }
-        if let Some(p) = &r.checkpoint {
-            note.push_str(&format!(" ckpt={}", p.display()));
-        }
-        if let Some(p) = &r.metrics {
-            note.push_str(&format!(" cbm={}", p.display()));
-        }
+        let note = r.provenance_note();
         eprintln!(
             "[runner] {n}/{total} {tag} {:<28} {:>7.2}s {:>7.2} MIPS{note}",
             job.label(),
@@ -348,6 +374,12 @@ pub fn metrics_record(job_id: &str, r: &JobResult) -> String {
             jsonv::escape(&p.display().to_string())
         ));
     }
+    if let Some(s) = &r.served {
+        trace_field.push_str(&format!(",\"served\":{}", jsonv::escape(s)));
+    }
+    if let Some(c) = &r.cache {
+        trace_field.push_str(&format!(",\"cache\":{}", jsonv::escape(c)));
+    }
     format!(
         "{{\"job\":{},\"design\":{},\"workload\":{},\"wall_s\":{:.6},\"mips\":{:.3},\
          \"ipc\":{:.4},\"mpki\":{:.4},\"acc\":{:.4},\"insts\":{},\"cycles\":{},\
@@ -438,6 +470,8 @@ mod tests {
             trace: None,
             checkpoint: None,
             metrics: None,
+            served: None,
+            cache: None,
         };
         let line = metrics_record(&job_id(3), &r);
         let v = jsonv::parse(&line).expect("record parses");
@@ -463,6 +497,19 @@ mod tests {
             v.get("trace").and_then(jsonv::Json::as_str),
             Some("/tmp/traces/gcc.cbt")
         );
+        // … and served jobs carry the endpoint plus cache disposition.
+        let served = JobResult {
+            served: Some("unix:/tmp/cobra-serve.sock".into()),
+            cache: Some("hit".into()),
+            ..replayed
+        };
+        let line = metrics_record(&job_id(3), &served);
+        let v = jsonv::parse(&line).expect("record parses");
+        assert_eq!(
+            v.get("served").and_then(jsonv::Json::as_str),
+            Some("unix:/tmp/cobra-serve.sock")
+        );
+        assert_eq!(v.get("cache").and_then(jsonv::Json::as_str), Some("hit"));
     }
 
     #[test]

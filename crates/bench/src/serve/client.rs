@@ -1,0 +1,137 @@
+//! A small line-oriented client for the `cobra-serve` protocol, used by
+//! the `--bench-client` load generator and the end-to-end tests.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+
+use super::server::Listen;
+use crate::jsonv::{self, Json};
+
+enum Stream {
+    Tcp(TcpStream),
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+/// One protocol connection: a buffered reader over the receive half and
+/// an unbuffered writer over the send half.
+pub struct Client {
+    reader: BufReader<Stream>,
+    writer: Stream,
+}
+
+impl std::io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.write(buf),
+        }
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Stream::Unix(s) => s.flush(),
+        }
+    }
+}
+
+impl Client {
+    /// Connects to a daemon at `listen`.
+    ///
+    /// # Errors
+    ///
+    /// Connection failures.
+    pub fn connect(listen: &Listen) -> std::io::Result<Client> {
+        let (reader, writer) = match listen {
+            Listen::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                s.set_nodelay(true)?;
+                (Stream::Tcp(s.try_clone()?), Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Listen::Unix(path) => {
+                let s = UnixStream::connect(path)?;
+                (Stream::Unix(s.try_clone()?), Stream::Unix(s))
+            }
+        };
+        Ok(Client {
+            reader: BufReader::new(reader),
+            writer,
+        })
+    }
+
+    /// Sends one request line (newline appended).
+    ///
+    /// # Errors
+    ///
+    /// Write failures.
+    pub fn send(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Receives one event line; `Ok(None)` on server EOF.
+    ///
+    /// # Errors
+    ///
+    /// Read failures.
+    pub fn recv(&mut self) -> std::io::Result<Option<String>> {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Ok(None);
+            }
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                return Ok(Some(trimmed.to_string()));
+            }
+        }
+    }
+
+    /// Receives events until one matches `ev`; intervening events are
+    /// handed to `on_other`. `Ok(None)` on EOF before a match.
+    ///
+    /// # Errors
+    ///
+    /// Read failures, or an unparsable event line.
+    pub fn recv_until(
+        &mut self,
+        ev: &str,
+        mut on_other: impl FnMut(&str, &Json),
+    ) -> std::io::Result<Option<(String, Json)>> {
+        while let Some(line) = self.recv()? {
+            let parsed = jsonv::parse(&line).map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unparsable event {line:?}: {e}"),
+                )
+            })?;
+            let kind = parsed
+                .get("ev")
+                .and_then(Json::as_str)
+                .unwrap_or("")
+                .to_string();
+            if kind == ev {
+                return Ok(Some((line, parsed)));
+            }
+            on_other(&line, &parsed);
+        }
+        Ok(None)
+    }
+}

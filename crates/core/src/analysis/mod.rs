@@ -336,6 +336,44 @@ pub fn gate_design(design: &Design, width: u8) -> Result<(), ComposeError> {
     }
 }
 
+/// The admission gate for raw topology strings: parses and lints
+/// `topology` against `registry` and rejects it when any error-level pass
+/// fires — *before* anything is simulated or even elaborated into a
+/// pipeline.
+///
+/// This is what `cobra-serve` runs on every submitted job, so a malformed
+/// topology comes back to the client as structured `C`-code diagnostics
+/// instead of a worker panic. On success the full [`AnalysisReport`] is
+/// returned (a server can surface storage figures or warnings alongside
+/// the acceptance).
+///
+/// # Errors
+///
+/// [`ComposeError::Parse`] (with a span) when the text does not parse, or
+/// [`ComposeError::Analysis`] carrying every error-level diagnostic.
+pub fn gate_topology(
+    name: &str,
+    topology: &str,
+    registry: &ComponentRegistry,
+    ghist_bits: u32,
+    lhist_entries: u64,
+    width: u8,
+) -> Result<AnalysisReport, ComposeError> {
+    let cfg = AnalysisConfig {
+        width,
+        ..AnalysisConfig::default()
+    };
+    let report = analyze_topology(name, topology, registry, ghist_bits, lhist_entries, &cfg)?;
+    let errors: Vec<Diagnostic> = report.errors().cloned().collect();
+    if errors.is_empty() {
+        Ok(report)
+    } else {
+        Err(ComposeError::Analysis {
+            diagnostics: errors,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -187,6 +187,20 @@ pub fn by_name(name: &str) -> Option<Design> {
         .find(|d| d.name.eq_ignore_ascii_case(name))
 }
 
+/// Wraps a raw topology string as an ad-hoc [`Design`] resolved against
+/// [`stock_registry`] — the path `cobra-lint` and `cobra-serve` take for
+/// topologies that are not in the catalog. The design's name is the
+/// topology text itself.
+pub fn from_topology(topology: &str, ghist_bits: u32, lhist_entries: u64) -> Design {
+    Design {
+        name: topology.into(),
+        topology: topology.into(),
+        registry: stock_registry(),
+        ghist_bits,
+        lhist_entries,
+    }
+}
+
 /// A registry holding every component the built-in designs use, under its
 /// stock label — the resolution context for linting raw topology strings.
 pub fn stock_registry() -> ComponentRegistry {

@@ -357,10 +357,88 @@ pub fn read_meta<R: Read>(mut r: R) -> Result<CbsMeta, CbsError> {
 /// be partially overwritten and must be discarded; identity and checksum
 /// errors are detected before any state is written.
 pub fn restore_checkpoint<R: Read, S: InstructionStream>(
-    mut r: R,
+    r: R,
     expected: &CbsMeta,
     core: &mut Core<S>,
 ) -> Result<(), CbsError> {
+    restore_inner(r, expected, core, false).map(|_| ())
+}
+
+/// Like [`restore_checkpoint`], but accepts a checkpoint captured at an
+/// *earlier* warmup boundary than `expected.warmup_insts` (same design,
+/// configuration, and workload) and returns the boundary the file was
+/// actually taken at. The caller resumes simulation from that boundary —
+/// because the machine is deterministic, running the remaining
+/// `expected.warmup_insts - stored` instructions lands in exactly the
+/// state a straight-through run would have reached.
+///
+/// This is the tier-2 path of the `cobra-serve` warm cache: a job at a
+/// larger instruction bound reuses the warm state of a smaller one and
+/// simulates only the remainder.
+///
+/// # Errors
+///
+/// Any [`CbsError`]; [`CbsError::WarmupMismatch`] when the stored
+/// boundary is *beyond* `expected.warmup_insts` (the overshoot cannot be
+/// unwound).
+pub fn restore_checkpoint_resume<R: Read, S: InstructionStream>(
+    r: R,
+    expected: &CbsMeta,
+    core: &mut Core<S>,
+) -> Result<u64, CbsError> {
+    restore_inner(r, expected, core, true)
+}
+
+/// Scans `dir` for the `.cbs` file that best shortcuts a run expecting
+/// `expected`: identical design, topology, configuration hash, and
+/// workload, captured at the largest warmup boundary not beyond
+/// `expected.warmup_insts`. Files that fail to open or parse are
+/// skipped, not fatal — a cache directory may hold foreign or damaged
+/// entries. Returns the path and its header, or `None`.
+pub fn best_resume_checkpoint(
+    dir: &std::path::Path,
+    expected: &CbsMeta,
+) -> Option<(std::path::PathBuf, CbsMeta)> {
+    let entries = std::fs::read_dir(dir).ok()?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cbs"))
+        .collect();
+    // Deterministic scan order, so ties resolve the same way every run.
+    paths.sort();
+    let mut best: Option<(std::path::PathBuf, CbsMeta)> = None;
+    for path in paths {
+        let Ok(f) = std::fs::File::open(&path) else {
+            continue;
+        };
+        let Ok(meta) = read_meta(std::io::BufReader::new(f)) else {
+            continue;
+        };
+        if meta.design != expected.design
+            || meta.topology != expected.topology
+            || meta.config_hash != expected.config_hash
+            || meta.workload != expected.workload
+            || meta.warmup_insts > expected.warmup_insts
+        {
+            continue;
+        }
+        if best
+            .as_ref()
+            .is_none_or(|(_, b)| meta.warmup_insts > b.warmup_insts)
+        {
+            best = Some((path, meta));
+        }
+    }
+    best
+}
+
+fn restore_inner<R: Read, S: InstructionStream>(
+    mut r: R,
+    expected: &CbsMeta,
+    core: &mut Core<S>,
+    allow_earlier_warmup: bool,
+) -> Result<u64, CbsError> {
     let meta = read_header(&mut r)?;
     if meta.design != expected.design {
         return Err(CbsError::DesignMismatch {
@@ -386,7 +464,12 @@ pub fn restore_checkpoint<R: Read, S: InstructionStream>(
             expected: expected.workload.clone(),
         });
     }
-    if meta.warmup_insts != expected.warmup_insts {
+    let boundary_ok = if allow_earlier_warmup {
+        meta.warmup_insts <= expected.warmup_insts
+    } else {
+        meta.warmup_insts == expected.warmup_insts
+    };
+    if !boundary_ok {
         return Err(CbsError::WarmupMismatch {
             stored: meta.warmup_insts,
             expected: expected.warmup_insts,
@@ -432,7 +515,7 @@ pub fn restore_checkpoint<R: Read, S: InstructionStream>(
     let mut sr = StateReader::new(&payload);
     core.load_state(&mut sr)?;
     sr.finish()?;
-    Ok(())
+    Ok(meta.warmup_insts)
 }
 
 /// Reads and checksums the header, returning the identity record.
@@ -631,6 +714,72 @@ mod tests {
         restore_checkpoint(&bytes[..], &meta(&cfg, WARMUP), &mut restored).unwrap();
         let replayed = restored.run_with_warmup(WARMUP, MEASURE, "branchy");
         assert_eq!(baseline, replayed);
+    }
+
+    #[test]
+    fn resume_from_earlier_boundary_is_byte_identical() {
+        const WARMUP: u64 = 2_000;
+        const MEASURE: u64 = 5_000;
+        let cfg = tiny_cfg();
+        let mut direct = fresh_core(cfg);
+        let baseline = direct.run_with_warmup(WARMUP, MEASURE, "branchy");
+        // Restore a checkpoint taken at half the warmup boundary, run the
+        // remaining warmup, then measure: determinism makes the report
+        // byte-identical to the straight-through run.
+        let bytes = capture(cfg, 1_000);
+        let expected = meta(&cfg, WARMUP);
+        let mut resumed = fresh_core(cfg);
+        let stored = restore_checkpoint_resume(&bytes[..], &expected, &mut resumed).unwrap();
+        assert_eq!(stored, 1_000);
+        resumed.run(WARMUP, "branchy");
+        let replayed = resumed.run_with_warmup(WARMUP, MEASURE, "branchy");
+        assert_eq!(baseline, replayed);
+        // An equal boundary is accepted; an overshoot is not.
+        let exact = capture(cfg, WARMUP);
+        let mut core = fresh_core(cfg);
+        assert_eq!(
+            restore_checkpoint_resume(&exact[..], &expected, &mut core).unwrap(),
+            WARMUP
+        );
+        let over = capture(cfg, 3_000);
+        let mut core = fresh_core(cfg);
+        assert!(matches!(
+            restore_checkpoint_resume(&over[..], &expected, &mut core),
+            Err(CbsError::WarmupMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn best_resume_checkpoint_picks_latest_eligible() {
+        let cfg = tiny_cfg();
+        let dir = std::env::temp_dir().join(format!("cobra-cbs-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        for warmup in [500u64, 1_500, 3_000] {
+            let bytes = capture(cfg, warmup);
+            std::fs::write(dir.join(format!("w{warmup}.cbs")), bytes).unwrap();
+        }
+        // A foreign-identity file and a damaged file must both be skipped.
+        let mut other = meta(&cfg, 1_500);
+        other.workload = "other".into();
+        let mut core = fresh_core(cfg);
+        core.run(1_500, "other");
+        let mut buf = Vec::new();
+        save_checkpoint(&mut buf, &other, &core).unwrap();
+        std::fs::write(dir.join("foreign.cbs"), buf).unwrap();
+        std::fs::write(dir.join("damaged.cbs"), b"COBRACBS junk").unwrap();
+
+        // Boundary 2_000: the 1_500 capture is the best shortcut (3_000
+        // overshoots, 500 is dominated).
+        let (path, m) = best_resume_checkpoint(&dir, &meta(&cfg, 2_000)).unwrap();
+        assert_eq!(m.warmup_insts, 1_500);
+        assert!(path.ends_with("w1500.cbs"));
+        // Boundary 3_000: the exact capture wins.
+        let (_, m) = best_resume_checkpoint(&dir, &meta(&cfg, 3_000)).unwrap();
+        assert_eq!(m.warmup_insts, 3_000);
+        // Nothing at or below 400.
+        assert!(best_resume_checkpoint(&dir, &meta(&cfg, 400)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

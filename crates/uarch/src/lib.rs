@@ -38,16 +38,19 @@ pub mod metrics;
 mod perf;
 mod program;
 mod ras;
+pub mod resultcache;
 mod tracesim;
 
 pub use crate::core::Core;
 pub use cache::{Cache, MemoryHierarchy};
 pub use checkpoint::{
-    config_hash, read_meta, restore_checkpoint, save_checkpoint, CbsError, CbsMeta,
+    best_resume_checkpoint, config_hash, read_meta, restore_checkpoint, restore_checkpoint_resume,
+    save_checkpoint, CbsError, CbsMeta,
 };
 pub use config::{CacheConfig, CoreConfig};
 pub use metrics::{read_metrics, reconcile, save_metrics, CbmError, CbmFile, CbmMeta};
 pub use perf::{harmonic_mean, PerfCounters, PerfReport};
 pub use program::{CfiOutcome, DynInst, InstructionStream, IterStream, Op, StaticInst};
 pub use ras::{RasSnapshot, ReturnAddressStack};
+pub use resultcache::{read_result, read_result_meta, save_result, CbrError, CbrMeta};
 pub use tracesim::{TraceSim, TraceStats};

@@ -504,13 +504,17 @@ pub fn reconcile(file: &CbmFile) -> Result<(), String> {
     Ok(())
 }
 
-fn encode_host(out: &mut Vec<u8>, h: &HostCounters) {
+pub(crate) fn encode_host(out: &mut Vec<u8>, h: &HostCounters) {
     for v in h.to_array() {
         varint::write_u64(out, v);
     }
 }
 
-fn decode_host(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<HostCounters, CbmError> {
+pub(crate) fn decode_host(
+    buf: &[u8],
+    pos: &mut usize,
+    what: &'static str,
+) -> Result<HostCounters, CbmError> {
     let mut a = [0u64; 11];
     for v in a.iter_mut() {
         *v = read_varint(buf, pos, what)?;
@@ -518,7 +522,7 @@ fn decode_host(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<HostCo
     Ok(HostCounters::from_array(a))
 }
 
-fn encode_attr(
+pub(crate) fn encode_attr(
     out: &mut Vec<u8>,
     attr: &AttributionReport,
     row_index: &BTreeMap<&str, u64>,
@@ -560,7 +564,7 @@ fn encode_attr(
     Ok(())
 }
 
-fn decode_attr(
+pub(crate) fn decode_attr(
     buf: &[u8],
     pos: &mut usize,
     labels: &[String],

@@ -123,6 +123,24 @@ impl PerfCounters {
         }
     }
 
+    /// The inverse of [`to_host`](Self::to_host), for decoding persisted
+    /// results back into a report.
+    pub fn from_host(h: &HostCounters) -> Self {
+        PerfCounters {
+            cycles: h.cycles,
+            committed_insts: h.committed_insts,
+            cond_branches: h.cond_branches,
+            cfis: h.cfis,
+            cond_mispredicts: h.cond_mispredicts,
+            target_mispredicts: h.target_mispredicts,
+            override_redirects: h.override_redirects,
+            history_replays: h.history_replays,
+            fetch_bubbles: h.fetch_bubbles,
+            icache_stall_cycles: h.icache_stall_cycles,
+            rob_stall_cycles: h.rob_stall_cycles,
+        }
+    }
+
     /// Field-wise difference `self − earlier`, for warm-up exclusion.
     pub fn delta(&self, earlier: &PerfCounters) -> PerfCounters {
         PerfCounters {

@@ -1,0 +1,740 @@
+//! The COBRA Binary Result (CBR) format — persisted evaluation results.
+//!
+//! A `.cbr` file is one measured [`PerfReport`] bound to the exact
+//! experiment that produced it: design, topology, FNV-1a configuration
+//! hash (see [`crate::checkpoint::config_hash`]), workload, measured
+//! instruction bound, and warmup boundary. It is the tier-1 entry of the
+//! `cobra-serve` warm cache: an exact identity match returns the stored
+//! report instead of re-simulating, and because the simulator is
+//! deterministic the stored report *is* the report a fresh run would
+//! produce — byte-for-byte once rendered.
+//!
+//! The container follows the same hostile-input discipline as `.cbt`,
+//! `.cbs`, and `.cbm`: fixed-width integers little-endian,
+//! variable-length values LEB128 ([`cobra_sim::varint`]), header and
+//! payload independently CRC-32C-protected, every declared length capped
+//! before allocation, trailing bytes rejected, and precise error
+//! variants ([`CbrError`]). [`read_result`] verifies the *whole* file
+//! and every identity field before a byte of payload is trusted, so a
+//! truncated, bit-flipped, or stale entry can never poison a served
+//! result. The payload reuses the `.cbm` counter and attribution codecs
+//! ([`crate::metrics`]), so the two formats cannot drift.
+
+use crate::metrics::{decode_attr, decode_host, encode_attr, encode_host, CbmError};
+use crate::{PerfCounters, PerfReport};
+use cobra_sim::varint;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// File magic, the first 8 bytes of every `.cbr` file.
+pub const MAGIC: [u8; 8] = *b"COBRACBR";
+/// Trailing footer magic, the last 4 bytes of every `.cbr` file.
+pub const FOOTER_MAGIC: [u8; 4] = *b"CBRX";
+/// The (only) format version this implementation reads and writes.
+pub const VERSION: u16 = 1;
+/// Reader guard: maximum accepted payload size.
+pub const MAX_PAYLOAD_BYTES: u64 = 1 << 20;
+/// Reader guard: maximum accepted length for any header string.
+pub const MAX_NAME_BYTES: u64 = 4096;
+/// Reader guard: maximum component rows (labels) per file.
+pub const MAX_LABELS: u64 = 64;
+
+/// Everything that can go wrong reading or writing a `.cbr` file.
+#[derive(Debug)]
+pub enum CbrError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file does not end with [`FOOTER_MAGIC`].
+    BadFooterMagic,
+    /// The file's version is not supported by this implementation.
+    UnsupportedVersion(u16),
+    /// The header flags word has bits this implementation does not know.
+    UnsupportedFlags(u16),
+    /// The file ended while reading the named structure.
+    Truncated {
+        /// Which structure was being read.
+        what: &'static str,
+    },
+    /// A declared size exceeds the format's hard limits — either corrupt
+    /// or hostile; never allocated.
+    LimitExceeded {
+        /// Which declared quantity is over limit.
+        what: &'static str,
+        /// The declared value.
+        got: u64,
+        /// The maximum this reader accepts.
+        max: u64,
+    },
+    /// The header CRC-32C does not match the header bytes.
+    HeaderChecksum {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes read.
+        computed: u32,
+    },
+    /// The payload's CRC-32C does not match its bytes.
+    PayloadChecksum {
+        /// Checksum stored in the file.
+        stored: u32,
+        /// Checksum computed over the bytes read.
+        computed: u32,
+    },
+    /// A varint field is truncated or over-long.
+    BadVarint {
+        /// Which structure was being read.
+        what: &'static str,
+    },
+    /// A header string is not valid UTF-8.
+    BadName,
+    /// Bytes remain after the footer magic.
+    TrailingBytes {
+        /// How many bytes follow the footer.
+        count: u64,
+    },
+    /// The payload decoded but is semantically inconsistent.
+    Malformed {
+        /// What was inconsistent.
+        what: &'static str,
+    },
+    /// The result was produced by a different experiment than `expected`
+    /// — any identity field differs. Never served.
+    IdentityMismatch {
+        /// Which identity field differs.
+        field: &'static str,
+        /// The value stored in the file.
+        stored: String,
+        /// The value the lookup expected.
+        expected: String,
+    },
+}
+
+impl fmt::Display for CbrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadMagic => write!(f, "not a CBR file (bad magic; expected `COBRACBR`)"),
+            Self::BadFooterMagic => {
+                write!(f, "bad footer magic (file truncated or not finalized)")
+            }
+            Self::UnsupportedVersion(v) => {
+                write!(
+                    f,
+                    "unsupported CBR version {v} (this reader supports {VERSION})"
+                )
+            }
+            Self::UnsupportedFlags(bits) => {
+                write!(
+                    f,
+                    "unsupported header flags {bits:#06x} (reserved bits set)"
+                )
+            }
+            Self::Truncated { what } => write!(f, "file truncated while reading {what}"),
+            Self::LimitExceeded { what, got, max } => {
+                write!(f, "{what} = {got} exceeds the format limit of {max}")
+            }
+            Self::HeaderChecksum { stored, computed } => write!(
+                f,
+                "header checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::PayloadChecksum { stored, computed } => write!(
+                f,
+                "payload checksum mismatch: stored {stored:#010x}, computed {computed:#010x}"
+            ),
+            Self::BadVarint { what } => write!(f, "truncated or over-long varint in {what}"),
+            Self::BadName => write!(f, "header string is not valid UTF-8"),
+            Self::TrailingBytes { count } => {
+                write!(f, "{count} trailing bytes after the footer magic")
+            }
+            Self::Malformed { what } => write!(f, "malformed payload: {what}"),
+            Self::IdentityMismatch {
+                field,
+                stored,
+                expected,
+            } => write!(f, "result is for {field} `{stored}`, not `{expected}`"),
+        }
+    }
+}
+
+impl std::error::Error for CbrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CbrError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Maps the shared `.cbm` codec errors onto `.cbr` variants (the codecs
+/// are reused verbatim; their failure modes are identical).
+impl From<CbmError> for CbrError {
+    fn from(e: CbmError) -> Self {
+        match e {
+            CbmError::Io(e) => Self::Io(e),
+            CbmError::BadMagic => Self::BadMagic,
+            CbmError::BadFooterMagic => Self::BadFooterMagic,
+            CbmError::UnsupportedVersion(v) => Self::UnsupportedVersion(v),
+            CbmError::UnsupportedFlags(b) => Self::UnsupportedFlags(b),
+            CbmError::Truncated { what } => Self::Truncated { what },
+            CbmError::LimitExceeded { what, got, max } => Self::LimitExceeded { what, got, max },
+            CbmError::HeaderChecksum { stored, computed } => {
+                Self::HeaderChecksum { stored, computed }
+            }
+            CbmError::PayloadChecksum { stored, computed } => {
+                Self::PayloadChecksum { stored, computed }
+            }
+            CbmError::BadVarint { what } => Self::BadVarint { what },
+            CbmError::BadName => Self::BadName,
+            CbmError::TrailingBytes { count } => Self::TrailingBytes { count },
+            CbmError::Malformed { what } => Self::Malformed { what },
+        }
+    }
+}
+
+/// The identity a persisted result is bound to — the full cache key.
+///
+/// [`read_result`] compares every field against the file header and
+/// refuses on any mismatch, so a hash-prefix filename collision or a
+/// hand-renamed file can never serve the wrong experiment's numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CbrMeta {
+    /// Design name (e.g. `"TAGE-L"`).
+    pub design: String,
+    /// Topology string in the paper's notation.
+    pub topology: String,
+    /// FNV-1a hash over the full design + core configuration (see
+    /// [`crate::checkpoint::config_hash`]).
+    pub config_hash: u64,
+    /// Workload name the run simulated.
+    pub workload: String,
+    /// Measured instruction bound of the run.
+    pub insts: u64,
+    /// Warmup boundary (committed instructions) excluded from the
+    /// measurement.
+    pub warmup_insts: u64,
+}
+
+/// Serializes `report` into `w` as a `.cbr` file bound to `meta`, and
+/// returns the bytes written.
+///
+/// # Errors
+///
+/// Propagates I/O errors; [`CbrError::Malformed`] if the report's
+/// override edges name components missing from its own rows.
+pub fn save_result<W: Write>(
+    mut w: W,
+    meta: &CbrMeta,
+    report: &PerfReport,
+) -> Result<u64, CbrError> {
+    let labels: Vec<&str> = report
+        .attribution
+        .components
+        .iter()
+        .map(|c| c.label.as_str())
+        .collect();
+    let row_index: BTreeMap<&str, u64> = labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (*l, i as u64))
+        .collect();
+
+    let mut header = Vec::with_capacity(96);
+    header.extend_from_slice(&MAGIC);
+    header.extend_from_slice(&VERSION.to_le_bytes());
+    header.extend_from_slice(&0u16.to_le_bytes()); // flags
+    write_str(&mut header, &meta.design);
+    write_str(&mut header, &meta.topology);
+    header.extend_from_slice(&meta.config_hash.to_le_bytes());
+    write_str(&mut header, &meta.workload);
+    varint::write_u64(&mut header, meta.insts);
+    varint::write_u64(&mut header, meta.warmup_insts);
+    let header_crc = cobra_sim::crc32c(&header);
+
+    let mut payload = Vec::with_capacity(512);
+    write_str(&mut payload, &report.workload);
+    write_str(&mut payload, &report.design);
+    varint::write_u64(&mut payload, labels.len() as u64);
+    for l in &labels {
+        write_str(&mut payload, l);
+    }
+    encode_host(&mut payload, &report.counters.to_host());
+    encode_attr(&mut payload, &report.attribution, &row_index)?;
+
+    let payload_len = payload.len() as u32;
+    let mut crc = cobra_sim::Crc32c::new();
+    crc.update(&payload_len.to_le_bytes());
+    crc.update(&payload);
+    let payload_crc = crc.finish();
+
+    w.write_all(&header)?;
+    w.write_all(&header_crc.to_le_bytes())?;
+    w.write_all(&payload_len.to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.write_all(&payload_crc.to_le_bytes())?;
+    w.write_all(&FOOTER_MAGIC)?;
+    w.flush()?;
+    Ok(header.len() as u64 + 4 + 4 + u64::from(payload_len) + 4 + 4)
+}
+
+/// Parses and checksums a `.cbr` header, returning the identity record
+/// without touching the payload.
+///
+/// # Errors
+///
+/// Any [`CbrError`] describing the first malformed header structure.
+pub fn read_result_meta<R: Read>(mut r: R) -> Result<CbrMeta, CbrError> {
+    read_header(&mut r)
+}
+
+/// Reads, checksums, identity-verifies, and fully decodes a `.cbr` file.
+///
+/// Every header field must equal `expected` — the caller states which
+/// experiment it is about to serve, and the file must agree. Nothing
+/// about the file is trusted before its checksums, identity, and shape
+/// checks pass.
+///
+/// # Errors
+///
+/// Any [`CbrError`]; [`CbrError::IdentityMismatch`] names the first
+/// identity field that differs.
+pub fn read_result<R: Read>(mut r: R, expected: &CbrMeta) -> Result<PerfReport, CbrError> {
+    let meta = read_header(&mut r)?;
+    check_identity(&meta, expected)?;
+
+    let payload_len = u64::from(read_u32(&mut r, "payload length")?);
+    if payload_len > MAX_PAYLOAD_BYTES {
+        return Err(CbrError::LimitExceeded {
+            what: "payload length",
+            got: payload_len,
+            max: MAX_PAYLOAD_BYTES,
+        });
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    read_exact(&mut r, &mut payload, "payload")?;
+    let stored = read_u32(&mut r, "payload checksum")?;
+    let mut crc = cobra_sim::Crc32c::new();
+    crc.update(&(payload_len as u32).to_le_bytes());
+    crc.update(&payload);
+    let computed = crc.finish();
+    if stored != computed {
+        return Err(CbrError::PayloadChecksum { stored, computed });
+    }
+    let mut footer = [0u8; 4];
+    read_exact(&mut r, &mut footer, "footer magic")?;
+    if footer != FOOTER_MAGIC {
+        return Err(CbrError::BadFooterMagic);
+    }
+    let mut rest = [0u8; 64];
+    let mut trailing = 0u64;
+    loop {
+        let n = r.read(&mut rest)?;
+        if n == 0 {
+            break;
+        }
+        trailing += n as u64;
+    }
+    if trailing != 0 {
+        return Err(CbrError::TrailingBytes { count: trailing });
+    }
+
+    let mut pos = 0usize;
+    let workload = read_str_buf(&payload, &mut pos, "payload workload name")?;
+    let design = read_str_buf(&payload, &mut pos, "payload design name")?;
+    let n_labels = read_varint(&payload, &mut pos, "payload label count")?;
+    if n_labels > MAX_LABELS {
+        return Err(CbrError::LimitExceeded {
+            what: "label count",
+            got: n_labels,
+            max: MAX_LABELS,
+        });
+    }
+    let mut labels = Vec::with_capacity(n_labels as usize);
+    for _ in 0..n_labels {
+        labels.push(read_str_buf(&payload, &mut pos, "payload component label")?);
+    }
+    let host = decode_host(&payload, &mut pos, "payload counters")?;
+    let attribution = decode_attr(&payload, &mut pos, &labels, "payload attribution")?;
+    if pos != payload.len() {
+        return Err(CbrError::Malformed {
+            what: "payload bytes remain after the attribution section",
+        });
+    }
+    if workload != meta.workload {
+        return Err(CbrError::Malformed {
+            what: "payload workload disagrees with the header",
+        });
+    }
+    if design != meta.design {
+        return Err(CbrError::Malformed {
+            what: "payload design disagrees with the header",
+        });
+    }
+    Ok(PerfReport {
+        workload,
+        design,
+        counters: PerfCounters::from_host(&host),
+        attribution,
+    })
+}
+
+fn check_identity(meta: &CbrMeta, expected: &CbrMeta) -> Result<(), CbrError> {
+    if meta.design != expected.design {
+        return Err(CbrError::IdentityMismatch {
+            field: "design",
+            stored: meta.design.clone(),
+            expected: expected.design.clone(),
+        });
+    }
+    if meta.topology != expected.topology {
+        return Err(CbrError::IdentityMismatch {
+            field: "topology",
+            stored: meta.topology.clone(),
+            expected: expected.topology.clone(),
+        });
+    }
+    if meta.config_hash != expected.config_hash {
+        return Err(CbrError::IdentityMismatch {
+            field: "config hash",
+            stored: format!("{:#018x}", meta.config_hash),
+            expected: format!("{:#018x}", expected.config_hash),
+        });
+    }
+    if meta.workload != expected.workload {
+        return Err(CbrError::IdentityMismatch {
+            field: "workload",
+            stored: meta.workload.clone(),
+            expected: expected.workload.clone(),
+        });
+    }
+    if meta.insts != expected.insts {
+        return Err(CbrError::IdentityMismatch {
+            field: "instruction bound",
+            stored: meta.insts.to_string(),
+            expected: expected.insts.to_string(),
+        });
+    }
+    if meta.warmup_insts != expected.warmup_insts {
+        return Err(CbrError::IdentityMismatch {
+            field: "warmup boundary",
+            stored: meta.warmup_insts.to_string(),
+            expected: expected.warmup_insts.to_string(),
+        });
+    }
+    Ok(())
+}
+
+fn read_header<R: Read>(r: &mut R) -> Result<CbrMeta, CbrError> {
+    let mut fixed = [0u8; 12];
+    read_exact(r, &mut fixed, "header")?;
+    if fixed[..8] != MAGIC {
+        return Err(CbrError::BadMagic);
+    }
+    let version = u16::from_le_bytes([fixed[8], fixed[9]]);
+    if version != VERSION {
+        return Err(CbrError::UnsupportedVersion(version));
+    }
+    let flags = u16::from_le_bytes([fixed[10], fixed[11]]);
+    if flags != 0 {
+        return Err(CbrError::UnsupportedFlags(flags));
+    }
+    let mut raw = fixed.to_vec();
+    let design = read_str(r, &mut raw, "header design name")?;
+    let topology = read_str(r, &mut raw, "header topology")?;
+    let mut hash_bytes = [0u8; 8];
+    read_exact(r, &mut hash_bytes, "header config hash")?;
+    raw.extend_from_slice(&hash_bytes);
+    let config_hash = u64::from_le_bytes(hash_bytes);
+    let workload = read_str(r, &mut raw, "header workload name")?;
+    let insts = read_varint_stream(r, &mut raw, "header instruction bound")?;
+    let warmup_insts = read_varint_stream(r, &mut raw, "header warmup boundary")?;
+    let stored = read_u32(r, "header checksum")?;
+    let computed = cobra_sim::crc32c(&raw);
+    if stored != computed {
+        return Err(CbrError::HeaderChecksum { stored, computed });
+    }
+    Ok(CbrMeta {
+        design,
+        topology,
+        config_hash,
+        workload,
+        insts,
+        warmup_insts,
+    })
+}
+
+fn write_str(out: &mut Vec<u8>, s: &str) {
+    varint::write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str<R: Read>(r: &mut R, raw: &mut Vec<u8>, what: &'static str) -> Result<String, CbrError> {
+    let len = read_varint_stream(r, raw, what)?;
+    if len > MAX_NAME_BYTES {
+        return Err(CbrError::LimitExceeded {
+            what,
+            got: len,
+            max: MAX_NAME_BYTES,
+        });
+    }
+    let mut buf = vec![0u8; len as usize];
+    read_exact(r, &mut buf, what)?;
+    raw.extend_from_slice(&buf);
+    String::from_utf8(buf).map_err(|_| CbrError::BadName)
+}
+
+fn read_str_buf(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<String, CbrError> {
+    let len = read_varint(buf, pos, what)?;
+    if len > MAX_NAME_BYTES {
+        return Err(CbrError::LimitExceeded {
+            what,
+            got: len,
+            max: MAX_NAME_BYTES,
+        });
+    }
+    let end = pos
+        .checked_add(len as usize)
+        .filter(|&e| e <= buf.len())
+        .ok_or(CbrError::Truncated { what })?;
+    let s = String::from_utf8(buf[*pos..end].to_vec()).map_err(|_| CbrError::BadName)?;
+    *pos = end;
+    Ok(s)
+}
+
+fn read_exact<R: Read>(r: &mut R, buf: &mut [u8], what: &'static str) -> Result<(), CbrError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            CbrError::Truncated { what }
+        } else {
+            CbrError::Io(e)
+        }
+    })
+}
+
+fn read_u32<R: Read>(r: &mut R, what: &'static str) -> Result<u32, CbrError> {
+    let mut b = [0u8; 4];
+    read_exact(r, &mut b, what)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize, what: &'static str) -> Result<u64, CbrError> {
+    varint::read_u64(buf, pos).ok_or(CbrError::BadVarint { what })
+}
+
+/// Reads a varint byte-by-byte from a stream, appending the raw bytes to
+/// `raw` (for checksumming).
+fn read_varint_stream<R: Read>(
+    r: &mut R,
+    raw: &mut Vec<u8>,
+    what: &'static str,
+) -> Result<u64, CbrError> {
+    let start = raw.len();
+    for _ in 0..varint::MAX_VARINT_LEN {
+        let mut b = [0u8; 1];
+        read_exact(r, &mut b, what)?;
+        raw.push(b[0]);
+        if b[0] & 0x80 == 0 {
+            let mut pos = 0;
+            return varint::read_u64(&raw[start..], &mut pos).ok_or(CbrError::BadVarint { what });
+        }
+    }
+    Err(CbrError::BadVarint { what })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cobra_core::obs::{
+        AttributionReport, ComponentAttribution, ComponentCounters, OverrideEdge,
+    };
+
+    fn sample_report() -> PerfReport {
+        let row = |label: &str, q: u64, b: u64| ComponentAttribution {
+            label: label.into(),
+            counters: ComponentCounters {
+                queries: q,
+                fires: q / 2,
+                direction_blame: b,
+                target_blame: b / 2,
+                provided_final: q / 3,
+                ..ComponentCounters::default()
+            },
+        };
+        PerfReport {
+            workload: "gcc".into(),
+            design: "B2".into(),
+            counters: PerfCounters {
+                cycles: 12_345,
+                committed_insts: 20_000,
+                cond_branches: 4_100,
+                cfis: 5_000,
+                cond_mispredicts: 210,
+                target_mispredicts: 33,
+                override_redirects: 40,
+                history_replays: 7,
+                fetch_bubbles: 900,
+                icache_stall_cycles: 120,
+                rob_stall_cycles: 310,
+            },
+            attribution: AttributionReport {
+                components: vec![
+                    row("GBIM2", 900, 40),
+                    row("BIM1", 700, 11),
+                    row("(static)", 0, 1),
+                ],
+                packets_with_prediction: 1_500,
+                hf_high_water: 9,
+                ghist_snapshot_repairs: 13,
+                lhist_repairs: 2,
+                overrides: vec![OverrideEdge {
+                    winner: "GBIM2".into(),
+                    loser: "BIM1".into(),
+                    count: 77,
+                }],
+            },
+        }
+    }
+
+    fn sample_meta() -> CbrMeta {
+        CbrMeta {
+            design: "B2".into(),
+            topology: "GBIM2(BIM1)".into(),
+            config_hash: 0x1234_5678_9abc_def0,
+            workload: "gcc".into(),
+            insts: 20_000,
+            warmup_insts: 8_000,
+        }
+    }
+
+    fn encode() -> Vec<u8> {
+        let mut buf = Vec::new();
+        save_result(&mut buf, &sample_meta(), &sample_report()).unwrap();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_is_exact() {
+        let bytes = encode();
+        let report = read_result(&bytes[..], &sample_meta()).unwrap();
+        assert_eq!(report, sample_report());
+    }
+
+    #[test]
+    fn meta_reads_without_payload() {
+        let bytes = encode();
+        assert_eq!(read_result_meta(&bytes[..]).unwrap(), sample_meta());
+    }
+
+    #[test]
+    fn identity_mismatches_are_precise() {
+        let bytes = encode();
+        let mut m = sample_meta();
+        m.design = "TAGE-L".into();
+        assert!(matches!(
+            read_result(&bytes[..], &m),
+            Err(CbrError::IdentityMismatch {
+                field: "design",
+                ..
+            })
+        ));
+        let mut m = sample_meta();
+        m.topology = "BIM2".into();
+        assert!(matches!(
+            read_result(&bytes[..], &m),
+            Err(CbrError::IdentityMismatch {
+                field: "topology",
+                ..
+            })
+        ));
+        let mut m = sample_meta();
+        m.config_hash ^= 1;
+        assert!(matches!(
+            read_result(&bytes[..], &m),
+            Err(CbrError::IdentityMismatch {
+                field: "config hash",
+                ..
+            })
+        ));
+        let mut m = sample_meta();
+        m.workload = "xz".into();
+        assert!(matches!(
+            read_result(&bytes[..], &m),
+            Err(CbrError::IdentityMismatch {
+                field: "workload",
+                ..
+            })
+        ));
+        let mut m = sample_meta();
+        m.insts += 1;
+        assert!(matches!(
+            read_result(&bytes[..], &m),
+            Err(CbrError::IdentityMismatch {
+                field: "instruction bound",
+                ..
+            })
+        ));
+        let mut m = sample_meta();
+        m.warmup_insts += 1;
+        assert!(matches!(
+            read_result(&bytes[..], &m),
+            Err(CbrError::IdentityMismatch {
+                field: "warmup boundary",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let bytes = encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                read_result(&bytes[..cut], &sample_meta()).is_err(),
+                "truncation at {cut}/{} went undetected",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_detected() {
+        let bytes = encode();
+        for i in 0..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[i] ^= 1 << (i % 8);
+            assert!(
+                read_result(&bad[..], &sample_meta()).is_err(),
+                "bit flip at byte {i} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = encode();
+        bytes.push(0);
+        assert!(matches!(
+            read_result(&bytes[..], &sample_meta()),
+            Err(CbrError::TrailingBytes { count: 1 })
+        ));
+    }
+
+    #[test]
+    fn error_messages_are_precise() {
+        assert!(CbrError::BadMagic.to_string().contains("COBRACBR"));
+        let e = CbrError::IdentityMismatch {
+            field: "design",
+            stored: "B2".into(),
+            expected: "TAGE-L".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("B2") && s.contains("TAGE-L"), "{s}");
+    }
+}
